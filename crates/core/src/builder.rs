@@ -1,0 +1,881 @@
+//! Symbolic construction of the switching-capacitance ADD (paper Fig. 6).
+//!
+//! For every gate `g_j` of the golden model the builder forms the rising
+//! condition `g_j'(xⁱ) · g_j(xᶠ)` as a BDD over the `2n` transition
+//! variables, scales it by the gate's load `C_j`, and accumulates:
+//!
+//! ```text
+//! C = 0
+//! for j in 1..=N:
+//!     deltaC = bdd_and(bdd_not(g_j(xi)), g_j(xf))
+//!     deltaC = add_times(deltaC, C_j)
+//!     if add_size(deltaC) > MAX: add_approx(deltaC, MAX)
+//!     C = add_sum(C, deltaC)
+//!     if add_size(C) > MAX: add_approx(C, MAX)
+//! ```
+//!
+//! Approximation *during* construction is what keeps the build feasible for
+//! units whose exact ADD explodes; the additive invariants
+//! `avg(a)+avg(b)=avg(a+b)` and `max(a)+max(b) ≥ max(a+b)` (Section 3.1)
+//! guarantee the chosen strategy's global property survives the summation.
+
+use crate::approx::{approximate_to_mixture, ApproxStrategy};
+use crate::calibrate::{recalibrate_leaves, ExactMeans};
+use crate::model::{AddPowerModel, BuildReport, VariableOrdering};
+use charfree_dd::{Add, Bdd, ChainMeasure, Manager};
+use charfree_netlist::{CellKind, Netlist};
+use std::time::Instant;
+
+/// How macro inputs are arranged along the diagram's variable order.
+///
+/// Decision-diagram size is exquisitely order-sensitive: a comparator whose
+/// `a` and `b` operand bits sit far apart blows up exponentially, while the
+/// interleaved order stays linear. The default heuristic is the classic
+/// fanin-DFS order (depth-first traversal from the primary outputs through
+/// the gate fanins, recording primary inputs in first-visit order), which
+/// clusters structurally related inputs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum InputOrder {
+    /// Fanin-DFS heuristic from the outputs (default).
+    #[default]
+    FaninDfs,
+    /// Keep the netlist's declaration order (ablation baseline).
+    Natural,
+    /// Explicit permutation: `custom[slot]` = input index placed at that
+    /// slot.
+    Custom(Vec<usize>),
+}
+
+/// Builder for [`AddPowerModel`]s.
+///
+/// # Examples
+///
+/// An upper-bound model capped at 50 nodes:
+///
+/// ```
+/// use charfree_core::{ApproxStrategy, ModelBuilder, PowerModel};
+/// use charfree_netlist::{benchmarks, Library};
+///
+/// let library = Library::test_library();
+/// let cm85 = benchmarks::cm85(&library);
+/// let bound = ModelBuilder::new(&cm85)
+///     .max_nodes(50)
+///     .strategy(ApproxStrategy::UpperBound)
+///     .build();
+/// assert!(bound.size() <= 50);
+/// ```
+#[derive(Debug)]
+pub struct ModelBuilder<'a> {
+    netlist: &'a Netlist,
+    max_nodes: Option<usize>,
+    strategy: ApproxStrategy,
+    ordering: VariableOrdering,
+    input_order: InputOrder,
+    collapse_toggles: Vec<f64>,
+    recalibrate: bool,
+    diagonal_gating: bool,
+    compact_every: usize,
+}
+
+/// Default toggle-probability family the collapse mixture spans; chosen to
+/// cover the whole `st` sweep of the paper's Fig. 7a.
+const DEFAULT_COLLAPSE_TOGGLES: [f64; 5] = [0.05, 0.15, 0.3, 0.5, 0.8];
+
+impl<'a> ModelBuilder<'a> {
+    /// Starts a builder with defaults: no size bound (exact model),
+    /// [`ApproxStrategy::Average`], interleaved variables, fanin-DFS input
+    /// order.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        ModelBuilder {
+            netlist,
+            max_nodes: None,
+            strategy: ApproxStrategy::Average,
+            ordering: VariableOrdering::Interleaved,
+            input_order: InputOrder::FaninDfs,
+            collapse_toggles: DEFAULT_COLLAPSE_TOGGLES.to_vec(),
+            recalibrate: true,
+            diagonal_gating: true,
+            compact_every: 16,
+        }
+    }
+
+    /// Selects how macro inputs map to diagram order slots.
+    pub fn input_order(mut self, order: InputOrder) -> Self {
+        self.input_order = order;
+        self
+    }
+
+    /// Sets the per-input flip probabilities spanned by the *collapse
+    /// measure mixture*: approximation is steered to minimize the expected
+    /// error averaged over transition distributions with these toggle
+    /// rates (default `[0.05, 0.15, 0.3, 0.5, 0.8]`, covering the paper's
+    /// `st` sweep).
+    ///
+    /// Passing `[0.5]` alone recovers the paper's uniform measure (under
+    /// which the exact global average is preserved by construction, but
+    /// accuracy away from `st = 0.5` degrades). Only meaningful together
+    /// with [`VariableOrdering::Interleaved`]; the grouped ordering always
+    /// uses the uniform measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `toggles` is empty or any value is outside `(0, 1)`.
+    pub fn collapse_toggles(mut self, toggles: &[f64]) -> Self {
+        assert!(!toggles.is_empty(), "at least one toggle rate required");
+        assert!(
+            toggles.iter().all(|&t| t > 0.0 && t < 1.0),
+            "toggle rates must be in (0,1)"
+        );
+        self.collapse_toggles = toggles.to_vec();
+        self
+    }
+
+    /// Enables or disables analytic terminal recalibration of approximated
+    /// average models (default: enabled). Recalibration shifts leaf values
+    /// to cancel the model's mean bias across the collapse-measure family,
+    /// computed entirely from the gate BDDs — no simulation involved (see
+    /// `calibrate` module docs). Ignored for upper-bound models.
+    pub fn leaf_recalibration(mut self, enabled: bool) -> Self {
+        self.recalibrate = enabled;
+        self
+    }
+
+    /// Enables or disables zeroing of the no-transition diagonal after
+    /// approximation (default: enabled). `C(x, x) = 0` holds exactly in the
+    /// golden model; gating restores it in approximated models at the cost
+    /// of a 2n-node indicator chain. Disable together with
+    /// [`ModelBuilder::leaf_recalibration`] and `collapse_toggles(&[0.5])`
+    /// to reproduce the paper's plain configuration, under which the
+    /// global average is preserved exactly (Section 3.1).
+    pub fn diagonal_gating(mut self, enabled: bool) -> Self {
+        self.diagonal_gating = enabled;
+        self
+    }
+
+    /// Caps the diagram at `max` nodes (the paper's `MAX`), enabling
+    /// approximation during construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max == 0`.
+    pub fn max_nodes(mut self, max: usize) -> Self {
+        assert!(max >= 1, "MAX must be at least 1");
+        self.max_nodes = Some(max);
+        self
+    }
+
+    /// Selects the approximation strategy (average-accurate vs conservative
+    /// upper bound).
+    pub fn strategy(mut self, strategy: ApproxStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Selects the transition-variable ordering.
+    pub fn ordering(mut self, ordering: VariableOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// How many gates to process between manager garbage collections.
+    pub fn compact_every(mut self, gates: usize) -> Self {
+        self.compact_every = gates.max(1);
+        self
+    }
+
+    /// Runs the construction.
+    ///
+    /// Setting the `CHARFREE_BUILD_TRACE` environment variable makes the
+    /// build print per-25-gate progress (arena size, pending partial-sum
+    /// sizes, elapsed time) to stderr — useful when modeling large units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails validation.
+    pub fn build(self) -> AddPowerModel {
+        self.netlist.validate().expect("netlist must be valid");
+        let trace = std::env::var_os("CHARFREE_BUILD_TRACE").is_some();
+        let start = Instant::now();
+        let n = self.netlist.num_inputs();
+        let input_slots = self.resolve_input_slots();
+        let mut m = Manager::new(2 * n as u32);
+        for i in 0..n {
+            let name = self.netlist.signal_name(self.netlist.inputs()[i]);
+            let slot = input_slots[i];
+            m.set_var_name(self.ordering.xi_var(slot, n), format!("{name}^i"));
+            m.set_var_name(self.ordering.xf_var(slot, n), format!("{name}^f"));
+        }
+
+        // Node-function BDDs per signal, over the xi and xf variable blocks.
+        let mut sig_i: Vec<Option<Bdd>> = vec![None; self.netlist.num_signals()];
+        let mut sig_f: Vec<Option<Bdd>> = vec![None; self.netlist.num_signals()];
+        for (i, &sig) in self.netlist.inputs().iter().enumerate() {
+            let slot = input_slots[i];
+            sig_i[sig.index()] = Some(m.bdd_var(self.ordering.xi_var(slot, n)));
+            sig_f[sig.index()] = Some(m.bdd_var(self.ordering.xf_var(slot, n)));
+        }
+
+        // Remaining-use counts so dead node functions can be collected.
+        let mut uses = vec![0usize; self.netlist.num_signals()];
+        for (_, gate) in self.netlist.gates() {
+            for &s in gate.inputs() {
+                uses[s.index()] += 1;
+            }
+        }
+
+        // Binary-counter accumulation: `pending[r]` holds a partial sum of
+        // 2^r gate contributions. Merging equal-rank sums keeps operand
+        // supports correlated (nearby gates) and cuts the number of
+        // size-triggered approximation passes from O(N) to O(N / 2^r0),
+        // which dominates construction time on large units. Plain
+        // left-fold summation is the paper's literal Fig. 6; '+' is
+        // associative, so the result is equivalent up to approximation
+        // scheduling.
+        let mut pending: Vec<Option<Add>> = Vec::new();
+        // Terminal quantization step: switching-capacitance ADDs are
+        // value-driven (every distinct partial sum of loads is a terminal),
+        // and merging sums over disjoint supports multiplies terminal
+        // sets. Snapping terminals to a fine grid (2^-14 of the total
+        // load) bounds that growth with a relative error ~6e-5 — far below
+        // model accuracy. The upper-bound strategy rounds *up*, preserving
+        // conservativeness.
+        let quantum = (self.netlist.total_load().femtofarads() / 16384.0).max(1e-9);
+        let weight = 1.0 / self.collapse_toggles.len() as f64;
+        let mixture: Vec<(ChainMeasure, f64)> = match self.ordering {
+            VariableOrdering::Interleaved => self
+                .collapse_toggles
+                .iter()
+                .map(|&t| {
+                    (
+                        ChainMeasure::interleaved_transitions(n as u32, 0.5, t),
+                        weight,
+                    )
+                })
+                .collect(),
+            VariableOrdering::Grouped => vec![(ChainMeasure::uniform(2 * n as u32), 1.0)],
+        };
+        let mut c = m.add_zero();
+        let mut rounds = 0usize;
+        let mut collapsed = 0usize;
+        // Analytic per-measure means of the exact switching capacitance,
+        // Σⱼ Cⱼ·P_t(riseⱼ), accumulated gate by gate for recalibration
+        // (during this build and any later `shrink`).
+        let mut exact_means = ExactMeans(vec![0.0; mixture.len()]);
+        for (gate_no, (_, gate)) in self.netlist.gates().enumerate() {
+            let pins_i: Vec<Bdd> = gate
+                .inputs()
+                .iter()
+                .map(|s| sig_i[s.index()].expect("topological order"))
+                .collect();
+            let pins_f: Vec<Bdd> = gate
+                .inputs()
+                .iter()
+                .map(|s| sig_f[s.index()].expect("topological order"))
+                .collect();
+            let gi = gate_bdd(&mut m, gate.kind(), &pins_i);
+            let gf = gate_bdd(&mut m, gate.kind(), &pins_f);
+            sig_i[gate.output().index()] = Some(gi);
+            sig_f[gate.output().index()] = Some(gf);
+
+            // deltaC = (NOT g(xi)) AND g(xf), scaled by the load.
+            let not_gi = m.bdd_not(gi);
+            let rise = m.bdd_and(not_gi, gf);
+            if self.recalibrate {
+                for ((measure, _), mean) in mixture.iter().zip(&mut exact_means.0) {
+                    let profile = m.add_measured_profile(rise.as_add(), measure);
+                    *mean += gate.load().femtofarads()
+                        * profile[&rise.node()].stats.avg;
+                }
+            }
+            let mut delta = m.add_scale(rise.as_add(), gate.load().femtofarads());
+            // Working slack: let intermediates grow to 2×MAX before
+            // collapsing back to MAX. Halves the number of approximation
+            // passes (their cost dominates large builds) without changing
+            // the final budget, which the post-loop pass enforces.
+            if let Some(max) = self.max_nodes {
+                if m.size(delta.node()) > 2 * max {
+                    let (d, out) =
+                        approximate_to_mixture(&mut m, delta, max, self.strategy, &mixture);
+                    delta = d;
+                    rounds += out.rounds;
+                    collapsed += out.nodes_collapsed;
+                }
+            }
+            // Carry-propagate the new contribution through the counter.
+            let mut cur = delta;
+            let mut rank = 0usize;
+            loop {
+                if rank == pending.len() {
+                    pending.push(None);
+                }
+                match pending[rank].take() {
+                    None => {
+                        pending[rank] = Some(cur);
+                        break;
+                    }
+                    Some(other) => {
+                        cur = merge_bounded(
+                            &mut m,
+                            other,
+                            cur,
+                            self.max_nodes,
+                            quantum,
+                            self.strategy,
+                            &mixture,
+                            &mut rounds,
+                            &mut collapsed,
+                        );
+                        rank += 1;
+                    }
+                }
+            }
+
+            // Release node functions that no later gate consumes.
+            for &s in gate.inputs() {
+                let u = &mut uses[s.index()];
+                *u -= 1;
+                if *u == 0 {
+                    sig_i[s.index()] = None;
+                    sig_f[s.index()] = None;
+                }
+            }
+
+            m.clear_caches();
+            if (gate_no + 1) % self.compact_every == 0 {
+                compact_live(&mut m, &mut sig_i, &mut sig_f, &mut pending);
+            }
+            if trace && gate_no % 25 == 24 {
+                eprintln!(
+                    "[build] gate {}/{} arena={} pending={:?} elapsed={:.1}s",
+                    gate_no + 1,
+                    self.netlist.num_gates(),
+                    m.arena_len(),
+                    pending
+                        .iter()
+                        .map(|p| p.map(|a| m.size(a.node())).unwrap_or(0))
+                        .collect::<Vec<_>>(),
+                    start.elapsed().as_secs_f64()
+                );
+            }
+        }
+
+        // Fold the counter into the final accumulator.
+        for slot in pending.into_iter().flatten() {
+            c = merge_bounded(
+                &mut m,
+                c,
+                slot,
+                self.max_nodes,
+                quantum,
+                self.strategy,
+                &mixture,
+                &mut rounds,
+                &mut collapsed,
+            );
+        }
+
+        // Enforce the budget exactly before gating/recalibration.
+        if let Some(max) = self.max_nodes {
+            if m.size(c.node()) > max {
+                let (c2, out) = approximate_to_mixture(&mut m, c, max, self.strategy, &mixture);
+                c = c2;
+                rounds += out.rounds;
+                collapsed += out.nodes_collapsed;
+            }
+        }
+
+        // Restore exactness on the no-transition diagonal: C(x, x) = 0 for
+        // every x (no signal can rise without an input transition), but
+        // collapse leaves make the diagonal positive, which wrecks relative
+        // accuracy at low transition activity where most cycles are idle.
+        // Gating with the "any input toggles" indicator (a 2n-node BDD
+        // chain) zeroes the diagonal exactly; values off the diagonal are
+        // untouched, so average- and upper-bound properties are preserved.
+        // Gating costs at least a 2n-node chain; below that budget the
+        // model cannot afford it (and degenerates gracefully). Under the
+        // grouped ordering the "any toggle" indicator must remember the
+        // whole xⁱ block (up to 2ⁿ nodes) and its product with the model
+        // explodes, so gating is interleaved-only.
+        let gate_feasible = self.ordering == VariableOrdering::Interleaved
+            && self
+                .max_nodes
+                .map_or(true, |max| max >= 4 * n + 8);
+        if collapsed > 0 && gate_feasible && self.diagonal_gating {
+            let toggles = any_toggle_bdd(&mut m, n, self.ordering, &input_slots);
+            let mut target = self.max_nodes.unwrap_or(usize::MAX);
+            loop {
+                let gated = m.add_times(c, toggles.as_add());
+                if self.max_nodes.is_none_or(|max| m.size(gated.node()) <= max) {
+                    c = gated;
+                    break;
+                }
+                // Shrink the ungated model further and retry; gating only
+                // redirects paths into the 0 terminal, and in the limit
+                // (target = 1) the gated constant-times-indicator chain is
+                // smaller than the `4n + 8` feasibility floor, so the loop
+                // always terminates with a gated model.
+                target = std::cmp::max(target * 3 / 4, 1);
+                let (c2, out) = approximate_to_mixture(&mut m, c, target, self.strategy, &mixture);
+                c = c2;
+                rounds += out.rounds;
+                collapsed += out.nodes_collapsed;
+            }
+        }
+
+        if self.recalibrate && collapsed > 0 && self.strategy == ApproxStrategy::Average {
+            c = recalibrate_leaves(&mut m, c, &mixture, &exact_means, 0.05);
+        }
+        let exact_means = exact_means; // moved into the model below
+
+        let report = BuildReport {
+            approximation_rounds: rounds,
+            nodes_collapsed: collapsed,
+            final_size: m.size(c.node()),
+            exact: collapsed == 0,
+            cpu: start.elapsed(),
+        };
+        // Final cleanup: drop everything but the model itself.
+        let roots = m.compact(&[c.node()]);
+        let root = Add::from_node(roots[0]);
+        AddPowerModel {
+            manager: m,
+            root,
+            num_inputs: n,
+            ordering: self.ordering,
+            input_slots,
+            collapse_mixture: mixture,
+            exact_means: if self.recalibrate {
+                Some(exact_means)
+            } else {
+                None
+            },
+            report: BuildReport {
+                final_size: 0, // refreshed below
+                ..report
+            },
+            display_name: "ADD".to_owned(),
+        }
+        .with_refreshed_size()
+    }
+
+    /// Maps every input index to its order slot per the configured
+    /// [`InputOrder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a custom order is not a permutation of the inputs.
+    fn resolve_input_slots(&self) -> Vec<usize> {
+        let n = self.netlist.num_inputs();
+        match &self.input_order {
+            InputOrder::Natural => (0..n).collect(),
+            InputOrder::Custom(order) => {
+                assert_eq!(order.len(), n, "custom order must cover every input");
+                let mut slots = vec![usize::MAX; n];
+                for (slot, &input) in order.iter().enumerate() {
+                    assert!(input < n, "input index out of range");
+                    assert_eq!(slots[input], usize::MAX, "duplicate input in custom order");
+                    slots[input] = slot;
+                }
+                slots
+            }
+            InputOrder::FaninDfs => {
+                // Input index per signal (primary inputs only).
+                let mut input_of_signal =
+                    vec![usize::MAX; self.netlist.num_signals()];
+                for (i, &sig) in self.netlist.inputs().iter().enumerate() {
+                    input_of_signal[sig.index()] = i;
+                }
+                let mut slots = vec![usize::MAX; n];
+                let mut next_slot = 0usize;
+                let mut visited = vec![false; self.netlist.num_signals()];
+                // Iterative DFS from each output through gate fanins.
+                let mut stack = Vec::new();
+                for &out in self.netlist.outputs() {
+                    stack.push(out);
+                    while let Some(sig) = stack.pop() {
+                        if visited[sig.index()] {
+                            continue;
+                        }
+                        visited[sig.index()] = true;
+                        match self.netlist.driver(sig) {
+                            Some(gid) => {
+                                // Push fanins in reverse so pin 0 is visited
+                                // first (deterministic).
+                                for &fanin in self.netlist.gate(gid).inputs().iter().rev() {
+                                    stack.push(fanin);
+                                }
+                            }
+                            None => {
+                                let i = input_of_signal[sig.index()];
+                                if i != usize::MAX && slots[i] == usize::MAX {
+                                    slots[i] = next_slot;
+                                    next_slot += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Inputs unreachable from any output still need a slot.
+                for s in &mut slots {
+                    if *s == usize::MAX {
+                        *s = next_slot;
+                        next_slot += 1;
+                    }
+                }
+                slots
+            }
+        }
+    }
+}
+
+impl AddPowerModel {
+    fn with_refreshed_size(mut self) -> Self {
+        self.report.final_size = self.manager.size(self.root.node());
+        self
+    }
+}
+
+/// Garbage-collects the manager keeping the partial sums and all live
+/// node functions, remapping every handle in place.
+fn compact_live(
+    m: &mut Manager,
+    sig_i: &mut [Option<Bdd>],
+    sig_f: &mut [Option<Bdd>],
+    pending: &mut [Option<Add>],
+) {
+    let mut roots = Vec::new();
+    let mut slots = Vec::new();
+    for (idx, s) in pending.iter().enumerate() {
+        if let Some(a) = s {
+            roots.push(a.node());
+            slots.push((2u8, idx));
+        }
+    }
+    for (idx, s) in sig_i.iter().enumerate() {
+        if let Some(b) = s {
+            roots.push(b.node());
+            slots.push((0u8, idx));
+        }
+    }
+    for (idx, s) in sig_f.iter().enumerate() {
+        if let Some(b) = s {
+            roots.push(b.node());
+            slots.push((1u8, idx));
+        }
+    }
+    let remapped = m.compact(&roots);
+    for (pos, (which, idx)) in slots.into_iter().enumerate() {
+        let id = remapped[pos];
+        match which {
+            0 => sig_i[idx] = Some(Bdd::from_node(id)),
+            1 => sig_f[idx] = Some(Bdd::from_node(id)),
+            _ => pending[idx] = Some(Add::from_node(id)),
+        }
+    }
+}
+
+/// Adds two partial sums under the working budget.
+///
+/// Summing diagrams over weakly overlapping supports can blow up
+/// multiplicatively (`|A|·|B|` apply cost), so operands are pre-shrunk
+/// until the product of their sizes is bounded; the sum is then quantized
+/// and, if still above the working slack, collapsed back to `max`.
+#[allow(clippy::too_many_arguments)]
+fn merge_bounded(
+    m: &mut Manager,
+    a: Add,
+    b: Add,
+    max_nodes: Option<usize>,
+    quantum: f64,
+    strategy: ApproxStrategy,
+    mixture: &[(ChainMeasure, f64)],
+    rounds: &mut usize,
+    collapsed: &mut usize,
+) -> Add {
+    let (mut a, mut b) = (a, b);
+    if let Some(max) = max_nodes {
+        // Bound the apply's worst case to a few million node visits.
+        let limit = 4_000_000usize.max(16 * max);
+        loop {
+            let (sa, sb) = (m.size(a.node()), m.size(b.node()));
+            if sa.saturating_mul(sb) <= limit {
+                break;
+            }
+            let (big, small) = if sa >= sb { (&mut a, sb) } else { (&mut b, sa) };
+            let target = (limit / small.max(1)).max(max / 2).max(64);
+            let (shrunk, out) = approximate_to_mixture(m, *big, target, strategy, mixture);
+            *big = shrunk;
+            *rounds += out.rounds;
+            *collapsed += out.nodes_collapsed;
+            if m.size(big.node()) >= if sa >= sb { sa } else { sb } {
+                break; // cannot shrink further; accept the apply cost
+            }
+        }
+    }
+    let mut sum = m.add_plus(a, b);
+    if max_nodes.is_some() {
+        sum = quantize(m, sum, quantum, strategy);
+    }
+    if let Some(max) = max_nodes {
+        if m.size(sum.node()) > 2 * max {
+            let (s2, out) = approximate_to_mixture(m, sum, max, strategy, mixture);
+            sum = s2;
+            *rounds += out.rounds;
+            *collapsed += out.nodes_collapsed;
+        }
+    }
+    sum
+}
+
+/// Snaps every terminal to a multiple of `quantum` — round-to-nearest for
+/// average models, round-up for upper bounds (which keeps them
+/// conservative). Exact zero stays exact so diagonal gating is unaffected.
+fn quantize(m: &mut Manager, f: Add, quantum: f64, strategy: ApproxStrategy) -> Add {
+    m.add_map_terminals(f, |v| {
+        if v == 0.0 {
+            0.0
+        } else {
+            match strategy {
+                ApproxStrategy::Average => (v / quantum).round() * quantum,
+                ApproxStrategy::UpperBound => (v / quantum).ceil() * quantum,
+            }
+        }
+    })
+}
+
+/// The BDD of "at least one input toggles": `OR_k (xₖⁱ ⊕ xₖᶠ)`.
+fn any_toggle_bdd(
+    m: &mut Manager,
+    n: usize,
+    ordering: VariableOrdering,
+    input_slots: &[usize],
+) -> Bdd {
+    let mut any = m.bdd_false();
+    for i in 0..n {
+        let slot = input_slots[i];
+        let a = m.bdd_var(ordering.xi_var(slot, n));
+        let b = m.bdd_var(ordering.xf_var(slot, n));
+        let t = m.bdd_xor(a, b);
+        any = m.bdd_or(any, t);
+    }
+    any
+}
+
+/// The BDD of one library cell applied to fan-in BDDs.
+fn gate_bdd(m: &mut Manager, kind: CellKind, pins: &[Bdd]) -> Bdd {
+    match kind {
+        CellKind::Inv => m.bdd_not(pins[0]),
+        CellKind::Buf => pins[0],
+        CellKind::Nand2 => {
+            let a = m.bdd_and(pins[0], pins[1]);
+            m.bdd_not(a)
+        }
+        CellKind::Nand3 => {
+            let a = m.bdd_and(pins[0], pins[1]);
+            let a = m.bdd_and(a, pins[2]);
+            m.bdd_not(a)
+        }
+        CellKind::Nand4 => {
+            let a = m.bdd_and(pins[0], pins[1]);
+            let b = m.bdd_and(pins[2], pins[3]);
+            let a = m.bdd_and(a, b);
+            m.bdd_not(a)
+        }
+        CellKind::Nor2 => {
+            let a = m.bdd_or(pins[0], pins[1]);
+            m.bdd_not(a)
+        }
+        CellKind::Nor3 => {
+            let a = m.bdd_or(pins[0], pins[1]);
+            let a = m.bdd_or(a, pins[2]);
+            m.bdd_not(a)
+        }
+        CellKind::Nor4 => {
+            let a = m.bdd_or(pins[0], pins[1]);
+            let b = m.bdd_or(pins[2], pins[3]);
+            let a = m.bdd_or(a, b);
+            m.bdd_not(a)
+        }
+        CellKind::And2 => m.bdd_and(pins[0], pins[1]),
+        CellKind::And3 => {
+            let a = m.bdd_and(pins[0], pins[1]);
+            m.bdd_and(a, pins[2])
+        }
+        CellKind::Or2 => m.bdd_or(pins[0], pins[1]),
+        CellKind::Or3 => {
+            let a = m.bdd_or(pins[0], pins[1]);
+            m.bdd_or(a, pins[2])
+        }
+        CellKind::Xor2 => m.bdd_xor(pins[0], pins[1]),
+        CellKind::Xnor2 => m.bdd_xnor(pins[0], pins[1]),
+        CellKind::Mux2 => m.bdd_ite(pins[0], pins[2], pins[1]),
+        CellKind::Aoi21 => {
+            let a = m.bdd_and(pins[0], pins[1]);
+            let o = m.bdd_or(a, pins[2]);
+            m.bdd_not(o)
+        }
+        CellKind::Oai21 => {
+            let o = m.bdd_or(pins[0], pins[1]);
+            let a = m.bdd_and(o, pins[2]);
+            m.bdd_not(a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PowerModel;
+    use charfree_netlist::benchmarks::paper_unit;
+    use charfree_netlist::Library;
+    use charfree_sim::{ExhaustivePairs, ZeroDelaySim};
+
+    #[test]
+    fn exact_model_reproduces_fig2_lut() {
+        let unit = paper_unit();
+        let model = ModelBuilder::new(&unit).build();
+        assert!(model.report().exact);
+        // Fig. 2b rows (xi, xf, C in fF).
+        let rows = [
+            ((false, false), (false, false), 0.0),
+            ((false, false), (false, true), 10.0),
+            ((false, false), (true, false), 10.0),
+            ((false, false), (true, true), 10.0),
+            ((true, true), (false, false), 90.0),
+        ];
+        for ((a, b), (c, d), want) in rows {
+            let got = model.capacitance(&[a, b], &[c, d]).femtofarads();
+            assert_eq!(got, want, "xi=({a},{b}) xf=({c},{d})");
+        }
+    }
+
+    #[test]
+    fn exact_model_equals_gate_level_simulation_everywhere() {
+        let lib = Library::test_library();
+        for netlist in [
+            paper_unit(),
+            charfree_netlist::benchmarks::decod(&lib),
+            charfree_netlist::benchmarks::random_logic("t", 6, 25, 3, &lib),
+        ] {
+            let sim = ZeroDelaySim::new(&netlist);
+            let model = ModelBuilder::new(&netlist).build();
+            assert!(model.report().exact, "{}", netlist.name());
+            for (xi, xf) in ExhaustivePairs::new(netlist.num_inputs() as u32) {
+                let want = sim.switching_capacitance(&xi, &xf).femtofarads();
+                let got = model.capacitance(&xi, &xf).femtofarads();
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "{}: xi={xi:?} xf={xf:?}: {got} vs {want}",
+                    netlist.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_orderings_agree() {
+        let lib = Library::test_library();
+        let netlist = charfree_netlist::benchmarks::decod(&lib);
+        let a = ModelBuilder::new(&netlist)
+            .ordering(VariableOrdering::Interleaved)
+            .build();
+        let b = ModelBuilder::new(&netlist)
+            .ordering(VariableOrdering::Grouped)
+            .build();
+        for (xi, xf) in ExhaustivePairs::new(5).take(256) {
+            assert_eq!(
+                a.capacitance(&xi, &xf).femtofarads(),
+                b.capacitance(&xi, &xf).femtofarads()
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_build_respects_max() {
+        let lib = Library::test_library();
+        let netlist = charfree_netlist::benchmarks::cm85(&lib);
+        for max in [200, 50, 10, 5] {
+            let model = ModelBuilder::new(&netlist).max_nodes(max).build();
+            assert!(model.size() <= max, "MAX={max}, size={}", model.size());
+            assert!(!model.report().exact);
+        }
+    }
+
+    #[test]
+    fn bounded_average_build_preserves_global_average() {
+        // The Section 3.1 invariant: avg-collapse commutes with summation,
+        // so even an aggressively approximated model keeps the exact
+        // average switched capacitance.
+        let lib = Library::test_library();
+        let netlist = charfree_netlist::benchmarks::decod(&lib);
+        let exact = ModelBuilder::new(&netlist).build();
+        let rough = ModelBuilder::new(&netlist)
+            .max_nodes(8)
+            .collapse_toggles(&[0.5])
+            .leaf_recalibration(false)
+            .diagonal_gating(false)
+            .build();
+        // Exact up to terminal quantization (total_load / 2^14 grid).
+        let tolerance = netlist.total_load().femtofarads() / 8192.0;
+        assert!(
+            (exact.average_capacitance().femtofarads()
+                - rough.average_capacitance().femtofarads())
+            .abs()
+                < tolerance
+        );
+    }
+
+    #[test]
+    fn bounded_upper_bound_build_is_conservative() {
+        let lib = Library::test_library();
+        let netlist = charfree_netlist::benchmarks::decod(&lib);
+        let sim = ZeroDelaySim::new(&netlist);
+        let bound = ModelBuilder::new(&netlist)
+            .max_nodes(12)
+            .strategy(ApproxStrategy::UpperBound)
+            .build();
+        for (xi, xf) in ExhaustivePairs::new(5) {
+            let exact = sim.switching_capacitance(&xi, &xf).femtofarads();
+            let ub = bound.capacitance(&xi, &xf).femtofarads();
+            assert!(ub >= exact - 1e-9, "xi={xi:?} xf={xf:?}: {ub} < {exact}");
+        }
+    }
+
+    #[test]
+    fn worst_case_transition_achieves_model_max() {
+        let lib = Library::test_library();
+        let netlist = charfree_netlist::benchmarks::decod(&lib);
+        let model = ModelBuilder::new(&netlist).build();
+        let (xi, xf) = model.worst_case_transition();
+        assert_eq!(
+            model.capacitance(&xi, &xf),
+            model.max_capacitance(),
+            "picked transition must realize the max"
+        );
+        // And for an exact model the simulator agrees.
+        let sim = ZeroDelaySim::new(&netlist);
+        assert_eq!(sim.switching_capacitance(&xi, &xf), model.max_capacitance());
+    }
+
+    #[test]
+    fn compaction_does_not_change_results() {
+        let lib = Library::test_library();
+        let netlist = charfree_netlist::benchmarks::cm85(&lib);
+        let every_gate = ModelBuilder::new(&netlist).compact_every(1).build();
+        let never = ModelBuilder::new(&netlist).compact_every(usize::MAX).build();
+        for (xi, xf) in ExhaustivePairs::new(11).take(512) {
+            assert_eq!(
+                every_gate.capacitance(&xi, &xf),
+                never.capacitance(&xi, &xf)
+            );
+        }
+    }
+
+    #[test]
+    fn report_displays() {
+        let model = ModelBuilder::new(&paper_unit()).build();
+        let text = model.report().to_string();
+        assert!(text.contains("exact"));
+        assert!(model.size() > 1);
+    }
+}

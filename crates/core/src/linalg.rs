@@ -1,0 +1,140 @@
+//! Minimal dense linear algebra: least-squares via normal equations.
+//!
+//! The `Lin` baseline of the paper is a linear regression with `n + 1`
+//! coefficients — small enough that forming `XᵀX` and solving by Gaussian
+//! elimination with partial pivoting is both simple and numerically
+//! adequate (a tiny Tikhonov ridge guards against rank deficiency, e.g.
+//! when a training sequence never toggles some input).
+
+/// Solves `min ‖X·a − y‖²` for `a`, where `rows` are the rows of `X`.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty, rows have inconsistent lengths, or
+/// `y.len() != rows.len()`.
+pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+    assert!(!rows.is_empty(), "no training rows");
+    assert_eq!(rows.len(), y.len(), "row/target count mismatch");
+    let k = rows[0].len();
+    // Normal equations: (XᵀX + εI) a = Xᵀy.
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut aty = vec![0.0f64; k];
+    for (row, &target) in rows.iter().zip(y) {
+        assert_eq!(row.len(), k, "inconsistent row length");
+        for i in 0..k {
+            aty[i] += row[i] * target;
+            for j in i..k {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..k {
+        for j in 0..i {
+            ata[i][j] = ata[j][i];
+        }
+    }
+    let ridge = 1e-9 * (1.0 + ata.iter().enumerate().map(|(i, r)| r[i]).sum::<f64>() / k as f64);
+    for (i, row) in ata.iter_mut().enumerate() {
+        row[i] += ridge;
+    }
+    solve(ata, aty)
+}
+
+/// Solves the square system `M·x = b` with partial pivoting.
+///
+/// # Panics
+///
+/// Panics if the (ridge-regularized) system is singular to working
+/// precision.
+fn solve(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let k = b.len();
+    for col in 0..k {
+        // Pivot.
+        let pivot = (col..k)
+            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).expect("finite"))
+            .expect("non-empty");
+        m.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = m[col][col];
+        assert!(diag.abs() > 1e-300, "singular system");
+        for row in col + 1..k {
+            let factor = m[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..k {
+                m[row][c] -= factor * m[col][c];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; k];
+    for col in (0..k).rev() {
+        let mut acc = b[col];
+        for c in col + 1..k {
+            acc -= m[col][c] * x[c];
+        }
+        x[col] = acc / m[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 3 + 2·x1 − 5·x2 on a spanning set of points.
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|b| vec![1.0, f64::from(b & 1), f64::from(b >> 1 & 1)])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 + 2.0 * r[1] - 5.0 * r[2]).collect();
+        let a = least_squares(&rows, &y);
+        assert!((a[0] - 3.0).abs() < 1e-6);
+        assert!((a[1] - 2.0).abs() < 1e-6);
+        assert!((a[2] + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overdetermined_minimizes_residual() {
+        // Noisy y; check the fit beats the constant fit.
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![1.0, (i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 1.0 + 4.0 * r[1] + if i % 2 == 0 { 0.25 } else { -0.25 })
+            .collect();
+        let a = least_squares(&rows, &y);
+        let rss: f64 = rows
+            .iter()
+            .zip(&y)
+            .map(|(r, &t)| {
+                let p = a[0] + a[1] * r[1];
+                (p - t) * (p - t)
+            })
+            .sum();
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let tss: f64 = y.iter().map(|&t| (t - mean) * (t - mean)).sum();
+        assert!(rss < tss * 0.01, "fit explains the variance");
+    }
+
+    #[test]
+    fn rank_deficiency_is_regularized() {
+        // Column 2 never varies -> singular without ridge.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64, 0.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[1]).collect();
+        let a = least_squares(&rows, &y);
+        assert!((a[1] - 2.0).abs() < 1e-3);
+        assert!(a[2].abs() < 1.0, "dead coefficient stays bounded");
+    }
+
+    #[test]
+    #[should_panic(expected = "no training rows")]
+    fn empty_input_panics() {
+        let _ = least_squares(&[], &[]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Variable abstraction and cube enumeration.
+//!
+//! Abstraction operators fold a variable out of a diagram — the symbolic
+//! analogue of marginalization. For power models they answer questions
+//! like "what is the expected switched capacitance as a function of the
+//! *other* inputs, averaging over this one?" (average abstraction) or
+//! "what is the worst case over this input?" (max abstraction) without
+//! enumerating patterns. Cube enumeration walks a BDD's satisfying set as
+//! don't-care-compressed cubes, which is how witness lists are reported
+//! compactly.
+
+use crate::manager::{Add, Bdd, BinOp, Manager};
+use crate::node::{NodeId, Var};
+
+impl Manager {
+    /// Sum abstraction: `(Σ_v f)(rest) = f|_{v=0} + f|_{v=1}`.
+    pub fn add_sum_abstract(&mut self, f: Add, var: Var) -> Add {
+        self.abstract_with(f, var, BinOp::Plus)
+    }
+
+    /// Average abstraction: `½ (f|_{v=0} + f|_{v=1})` — marginalizes a fair
+    /// input away. Repeated over every variable this converges to the
+    /// constant [`Manager::add_avg`].
+    pub fn add_avg_abstract(&mut self, f: Add, var: Var) -> Add {
+        let sum = self.add_sum_abstract(f, var);
+        self.add_scale(sum, 0.5)
+    }
+
+    /// Max abstraction: `max(f|_{v=0}, f|_{v=1})` — the tightest function
+    /// of the remaining variables that dominates `f` regardless of `v`.
+    pub fn add_max_abstract(&mut self, f: Add, var: Var) -> Add {
+        self.abstract_with(f, var, BinOp::Max)
+    }
+
+    /// Min abstraction: `min(f|_{v=0}, f|_{v=1})`.
+    pub fn add_min_abstract(&mut self, f: Add, var: Var) -> Add {
+        self.abstract_with(f, var, BinOp::Min)
+    }
+
+    fn abstract_with(&mut self, f: Add, var: Var, op: BinOp) -> Add {
+        let lo = self.restrict(f.node(), var, false);
+        let hi = self.restrict(f.node(), var, true);
+        Add::from_node(self.apply_public(op, lo, hi))
+    }
+
+    /// `apply` for node handles (crate-internal plumbing for abstraction).
+    pub(crate) fn apply_public(&mut self, op: BinOp, a: NodeId, b: NodeId) -> NodeId {
+        self.add_apply(op, Add::from_node(a), Add::from_node(b)).node()
+    }
+
+    /// Iterates the satisfying set of a BDD as cubes.
+    ///
+    /// Each cube assigns `Some(value)` to the variables tested on one
+    /// root-to-`1` path and `None` (don't care) to the rest, so the
+    /// returned cubes are disjoint and their union is exactly the ON-set.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use charfree_dd::{Manager, Var};
+    ///
+    /// let mut m = Manager::new(3);
+    /// let a = m.bdd_var(Var(0));
+    /// let c = m.bdd_var(Var(2));
+    /// let f = m.bdd_and(a, c);
+    /// let cubes: Vec<_> = m.cubes(f).collect();
+    /// assert_eq!(cubes, vec![vec![Some(true), None, Some(true)]]);
+    /// ```
+    pub fn cubes(&self, f: Bdd) -> Cubes<'_> {
+        Cubes {
+            manager: self,
+            stack: vec![(f.node(), Vec::new())],
+        }
+    }
+}
+
+/// Iterator over the ON-set cubes of a BDD; see [`Manager::cubes`].
+#[derive(Debug)]
+pub struct Cubes<'a> {
+    manager: &'a Manager,
+    /// Pending (node, partial literal list) pairs.
+    stack: Vec<(NodeId, Vec<(Var, bool)>)>,
+}
+
+impl Iterator for Cubes<'_> {
+    /// One cube: position `v` is `Some(value)` if variable `v` is
+    /// constrained, `None` for don't care.
+    type Item = Vec<Option<bool>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, lits)) = self.stack.pop() {
+            if node.is_terminal() {
+                if self.manager.terminal_value(node) != 0.0 {
+                    let mut cube = vec![None; self.manager.num_vars() as usize];
+                    for &(var, value) in &lits {
+                        cube[var.index() as usize] = Some(value);
+                    }
+                    return Some(cube);
+                }
+                continue;
+            }
+            let var = self.manager.node_var(node);
+            let (lo, hi) = self.manager.children(node);
+            let mut hi_lits = lits.clone();
+            hi_lits.push((var, true));
+            let mut lo_lits = lits;
+            lo_lits.push((var, false));
+            // Low first so cubes come out in ascending assignment order.
+            self.stack.push((hi, hi_lits));
+            self.stack.push((lo, lo_lits));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted(m: &mut Manager) -> Add {
+        // f = 3·x0 + 5·x1 + 9·x2
+        let mut acc = m.add_zero();
+        for (v, w) in [(0u32, 3.0), (1, 5.0), (2, 9.0)] {
+            let x = m.bdd_var(Var(v));
+            let d = m.add_scale(x.as_add(), w);
+            acc = m.add_plus(acc, d);
+        }
+        acc
+    }
+
+    #[test]
+    fn sum_and_avg_abstraction() {
+        let mut m = Manager::new(3);
+        let f = weighted(&mut m);
+        let g = m.add_avg_abstract(f, Var(1));
+        // Averaging x1 out replaces its 5 with 2.5 everywhere.
+        for bits in 0..4u32 {
+            let x0 = bits & 1 == 1;
+            let x2 = bits & 2 == 2;
+            let want = 3.0 * f64::from(u8::from(x0)) + 2.5 + 9.0 * f64::from(u8::from(x2));
+            assert_eq!(m.add_eval(g, &[x0, false, x2]), want);
+            // x1 no longer matters.
+            assert_eq!(m.add_eval(g, &[x0, true, x2]), want);
+        }
+        // Abstracting every variable yields the global average.
+        let g = m.add_avg_abstract(f, Var(0));
+        let g = m.add_avg_abstract(g, Var(1));
+        let g = m.add_avg_abstract(g, Var(2));
+        assert!(g.node().is_terminal());
+        assert_eq!(m.terminal_value(g.node()), m.add_avg(f));
+    }
+
+    #[test]
+    fn max_and_min_abstraction() {
+        let mut m = Manager::new(3);
+        let f = weighted(&mut m);
+        let hi = m.add_max_abstract(f, Var(2));
+        let lo = m.add_min_abstract(f, Var(2));
+        for bits in 0..4u32 {
+            let x0 = bits & 1 == 1;
+            let x1 = bits & 2 == 2;
+            let base = 3.0 * f64::from(u8::from(x0)) + 5.0 * f64::from(u8::from(x1));
+            assert_eq!(m.add_eval(hi, &[x0, x1, false]), base + 9.0);
+            assert_eq!(m.add_eval(lo, &[x0, x1, false]), base);
+        }
+        // Dominance: max-abstraction ≥ f ≥ min-abstraction, pointwise.
+        for bits in 0..8u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            assert!(m.add_eval(hi, &asg) >= m.add_eval(f, &asg));
+            assert!(m.add_eval(lo, &asg) <= m.add_eval(f, &asg));
+        }
+    }
+
+    #[test]
+    fn cubes_cover_the_on_set_disjointly() {
+        let mut m = Manager::new(4);
+        let a = m.bdd_var(Var(0));
+        let b = m.bdd_var(Var(1));
+        let d = m.bdd_var(Var(3));
+        let ab = m.bdd_and(a, b);
+        let f = m.bdd_or(ab, d);
+        let cubes: Vec<_> = m.cubes(f).collect();
+        // Every assignment must match exactly one cube iff it satisfies f.
+        for bits in 0..16u32 {
+            let asg: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let matches = cubes
+                .iter()
+                .filter(|cube| {
+                    cube.iter()
+                        .zip(&asg)
+                        .all(|(lit, &v)| lit.map_or(true, |l| l == v))
+                })
+                .count();
+            assert_eq!(matches, usize::from(m.bdd_eval(f, &asg)), "bits={bits:04b}");
+        }
+        // Don't cares compress: far fewer cubes than minterms.
+        assert!(cubes.len() <= 3, "got {}", cubes.len());
+    }
+
+    #[test]
+    fn cubes_of_constants() {
+        let m = Manager::new(2);
+        assert_eq!(m.cubes(m.bdd_false()).count(), 0);
+        let all: Vec<_> = m.cubes(m.bdd_true()).collect();
+        assert_eq!(all, vec![vec![None, None]]);
+    }
+}

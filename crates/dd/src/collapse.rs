@@ -1,0 +1,189 @@
+//! Node collapsing: the ADD simplification mechanism of Section 3.
+//!
+//! Collapsing replaces the sub-ADD rooted at a chosen node by a single
+//! terminal (leaf) node. The *strategy* — which nodes to pick and which leaf
+//! value to use (sub-function average for accuracy, maximum for conservative
+//! upper bounds) — lives in `charfree-core`; this module provides the
+//! mechanism: a linear-time rebuild of the diagram with a set of nodes
+//! replaced by constants.
+
+use crate::hash::FxHashMap;
+use crate::manager::{Add, Manager};
+use crate::node::NodeId;
+
+impl Manager {
+    /// Rebuilds `f` with every node in `replacements` collapsed to the given
+    /// constant leaf value.
+    ///
+    /// If a replaced node is an ancestor of another replaced node, the
+    /// ancestor wins (its whole sub-ADD, including the inner replacement
+    /// target, disappears). Replacement values apply to *nodes*, so two
+    /// occurrences of a shared node are replaced consistently — exactly the
+    /// behavior of the paper's "several sub-trees can be independently
+    /// collapsed during a traversal".
+    ///
+    /// Runs in time linear in the size of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replacement value is NaN.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use charfree_dd::{Manager, Var};
+    /// use charfree_dd::hash::FxHashMap;
+    ///
+    /// let mut m = Manager::new(2);
+    /// let x0 = m.bdd_var(Var(0));
+    /// let x1 = m.bdd_var(Var(1));
+    /// let c0 = m.constant(0.0);
+    /// let c10 = m.constant(10.0);
+    /// let inner = m.add_ite(x1, c10, c0);
+    /// let f = m.add_ite(x0, c10, inner);
+    ///
+    /// // Collapse the inner node to its average, 5.0 (paper Ex. 3/4).
+    /// let mut repl = FxHashMap::default();
+    /// repl.insert(inner.node(), 5.0);
+    /// let g = m.collapse(f, &repl);
+    /// assert_eq!(m.add_eval(g, &[false, false]), 5.0);
+    /// assert_eq!(m.add_eval(g, &[false, true]), 5.0);
+    /// assert_eq!(m.add_eval(g, &[true, false]), 10.0);
+    /// ```
+    pub fn collapse(&mut self, f: Add, replacements: &FxHashMap<NodeId, f64>) -> Add {
+        let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        Add(self.collapse_rec(f.node(), replacements, &mut memo))
+    }
+
+    fn collapse_rec(
+        &mut self,
+        f: NodeId,
+        replacements: &FxHashMap<NodeId, f64>,
+        memo: &mut FxHashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if let Some(&v) = replacements.get(&f) {
+            return self.terminal(v);
+        }
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (lo, hi) = self.children(f);
+        let var = self.node_var(f).index();
+        let lo2 = self.collapse_rec(lo, replacements, memo);
+        let hi2 = self.collapse_rec(hi, replacements, memo);
+        let r = self.mk(var, lo2, hi2);
+        memo.insert(f, r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Var;
+
+    fn example(m: &mut Manager) -> (Add, Add) {
+        let x0 = m.bdd_var(Var(0));
+        let x1 = m.bdd_var(Var(1));
+        let c0 = m.constant(0.0);
+        let c10 = m.constant(10.0);
+        let inner = m.add_ite(x1, c10, c0);
+        let f = m.add_ite(x0, c10, inner);
+        (f, inner)
+    }
+
+    #[test]
+    fn collapse_reduces_size() {
+        let mut m = Manager::new(2);
+        let (f, inner) = example(&mut m);
+        let before = m.size(f.node());
+        let mut repl = FxHashMap::default();
+        repl.insert(inner.node(), 5.0);
+        let g = m.collapse(f, &repl);
+        assert!(m.size(g.node()) < before);
+    }
+
+    #[test]
+    fn collapse_with_empty_map_is_identity() {
+        let mut m = Manager::new(2);
+        let (f, _) = example(&mut m);
+        let g = m.collapse(f, &FxHashMap::default());
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn collapse_root_gives_constant() {
+        let mut m = Manager::new(2);
+        let (f, _) = example(&mut m);
+        let mut repl = FxHashMap::default();
+        repl.insert(f.node(), 7.5);
+        let g = m.collapse(f, &repl);
+        assert!(g.node().is_terminal());
+        assert_eq!(m.terminal_value(g.node()), 7.5);
+    }
+
+    #[test]
+    fn ancestor_replacement_wins() {
+        let mut m = Manager::new(2);
+        let (f, inner) = example(&mut m);
+        let mut repl = FxHashMap::default();
+        repl.insert(f.node(), 1.0);
+        repl.insert(inner.node(), 99.0);
+        let g = m.collapse(f, &repl);
+        assert!(g.node().is_terminal());
+        assert_eq!(m.terminal_value(g.node()), 1.0);
+    }
+
+    #[test]
+    fn avg_collapse_preserves_global_average() {
+        // Replacing any sub-ADD by its own average leaves the root average
+        // unchanged — the invariant the paper uses to compose local and
+        // global approximations (Section 3.1).
+        let mut m = Manager::new(3);
+        let x0 = m.bdd_var(Var(0));
+        let x1 = m.bdd_var(Var(1));
+        let x2 = m.bdd_var(Var(2));
+        let c2 = m.constant(2.0);
+        let c8 = m.constant(8.0);
+        let zero = m.add_zero();
+        let s1 = m.add_ite(x1, c8, c2);
+        let s2 = m.add_ite(x2, c2, zero);
+        let f = m.add_ite(x0, s1, s2);
+
+        let avg_before = m.add_avg(f);
+        let stats = m.add_stats(f);
+        let mut repl = FxHashMap::default();
+        repl.insert(s1.node(), stats.get(s1.node()).expect("reachable").avg);
+        let g = m.collapse(f, &repl);
+        let avg_after = m.add_avg(g);
+        assert!((avg_before - avg_after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_collapse_is_conservative_and_preserves_max() {
+        let mut m = Manager::new(3);
+        let x0 = m.bdd_var(Var(0));
+        let x1 = m.bdd_var(Var(1));
+        let x2 = m.bdd_var(Var(2));
+        let c2 = m.constant(2.0);
+        let c8 = m.constant(8.0);
+        let zero = m.add_zero();
+        let s1 = m.add_ite(x1, c8, c2);
+        let s2 = m.add_ite(x2, c2, zero);
+        let f = m.add_ite(x0, s1, s2);
+
+        let stats = m.add_stats(f);
+        let mut repl = FxHashMap::default();
+        repl.insert(s2.node(), stats.get(s2.node()).expect("reachable").max);
+        let g = m.collapse(f, &repl);
+
+        for bits in 0..8u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            assert!(m.add_eval(g, &asg) >= m.add_eval(f, &asg));
+        }
+        assert_eq!(m.add_max_value(g), m.add_max_value(f));
+    }
+}

@@ -1,0 +1,115 @@
+//! A small, fast, non-cryptographic hasher for the unique and computed
+//! tables.
+//!
+//! Decision-diagram manipulation is dominated by hash-table lookups whose
+//! keys are two or three 32-bit node identifiers. `std`'s default SipHash is
+//! noticeably slower for such tiny fixed-size keys, so we ship a ~30-line
+//! FxHash-style multiply-xor hasher instead of pulling in an external crate
+//! (see DESIGN.md §7). It is *not* DoS-resistant; all keys are internal node
+//! identifiers, never attacker-controlled data.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher in the style of rustc's FxHash.
+///
+/// # Examples
+///
+/// ```
+/// use charfree_dd::hash::FxHashMap;
+///
+/// let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+/// map.insert(7, "seven");
+/// assert_eq!(map.get(&7), Some(&"seven"));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut map: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert((i, i.wrapping_mul(3)), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(map.get(&(i, i.wrapping_mul(3))), Some(&i));
+        }
+        assert_eq!(map.len(), 1000);
+    }
+
+    #[test]
+    fn distinct_keys_usually_distinct_hashes() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(bh.hash_one(i));
+        }
+        // A handful of collisions would be acceptable; total degeneracy is not.
+        assert!(seen.len() > 9_900);
+    }
+
+    #[test]
+    fn set_roundtrip() {
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        set.insert(42);
+        assert!(set.contains(&42));
+        assert!(!set.contains(&43));
+    }
+}

@@ -1,0 +1,1349 @@
+//! The decision-diagram manager: arenas, unique tables, computed tables and
+//! the core `mk` constructor that keeps diagrams reduced and canonical.
+
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::node::{Node, NodeId, Var};
+
+/// A reduced ordered *binary* decision diagram rooted in a manager.
+///
+/// A `Bdd` is represented internally as an ADD whose terminals are exactly
+/// `0.0` and `1.0`; the newtype keeps Boolean and arithmetic diagrams from
+/// being mixed up at the API level ([C-NEWTYPE]).
+///
+/// # Examples
+///
+/// ```
+/// use charfree_dd::{Manager, Var};
+///
+/// let mut m = Manager::new(2);
+/// let x0 = m.bdd_var(Var(0));
+/// let x1 = m.bdd_var(Var(1));
+/// let f = m.bdd_and(x0, x1);
+/// assert!(m.bdd_eval(f, &[true, true]));
+/// assert!(!m.bdd_eval(f, &[true, false]));
+/// ```
+///
+/// [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) NodeId);
+
+/// A reduced ordered *algebraic* decision diagram (ADD): a map from Boolean
+/// input vectors to `f64` values, rooted in a manager.
+///
+/// # Examples
+///
+/// ```
+/// use charfree_dd::{Manager, Var};
+///
+/// let mut m = Manager::new(1);
+/// let x = m.bdd_var(Var(0));
+/// let heavy = m.constant(40.0);
+/// let light = m.constant(10.0);
+/// let f = m.add_ite(x, heavy, light);
+/// assert_eq!(m.add_eval(f, &[true]), 40.0);
+/// assert_eq!(m.add_eval(f, &[false]), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Add(pub(crate) NodeId);
+
+impl Bdd {
+    /// The underlying node handle (shared with the ADD view of the diagram).
+    #[inline]
+    pub fn node(self) -> NodeId {
+        self.0
+    }
+
+    /// Reinterpret this Boolean diagram as a 0/1-valued ADD (free).
+    #[inline]
+    pub fn as_add(self) -> Add {
+        Add(self.0)
+    }
+
+    /// Wrap a raw node handle obtained from [`Bdd::node`].
+    ///
+    /// The handle must originate from the same manager and designate a
+    /// diagram with 0/1 terminals; this is not re-checked (use
+    /// [`Manager::add_to_bdd`] for a checked conversion).
+    #[inline]
+    pub fn from_node(id: NodeId) -> Bdd {
+        Bdd(id)
+    }
+}
+
+impl Add {
+    /// The underlying node handle.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        self.0
+    }
+
+    /// Wrap a raw node handle obtained from [`Add::node`].
+    ///
+    /// The handle must originate from the same manager and designate a
+    /// diagram with numeric terminals; this is not re-checked.
+    #[inline]
+    pub fn from_node(id: NodeId) -> Add {
+        Add(id)
+    }
+}
+
+/// Binary operations understood by [`Manager::add_apply`].
+///
+/// Boolean operations interpret terminals `0.0`/`1.0`; arithmetic operations
+/// work on arbitrary finite terminals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Boolean conjunction (terminals must be 0/1).
+    And,
+    /// Boolean disjunction (terminals must be 0/1).
+    Or,
+    /// Boolean exclusive or (terminals must be 0/1).
+    Xor,
+    /// Pointwise addition.
+    Plus,
+    /// Pointwise subtraction.
+    Minus,
+    /// Pointwise multiplication.
+    Times,
+    /// Pointwise minimum.
+    Min,
+    /// Pointwise maximum.
+    Max,
+}
+
+impl BinOp {
+    #[inline]
+    fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::And => {
+                debug_assert!(is_bool(a) && is_bool(b));
+                if a != 0.0 && b != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            BinOp::Or => {
+                debug_assert!(is_bool(a) && is_bool(b));
+                if a != 0.0 || b != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            BinOp::Xor => {
+                debug_assert!(is_bool(a) && is_bool(b));
+                if (a != 0.0) != (b != 0.0) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            BinOp::Plus => a + b,
+            BinOp::Minus => a - b,
+            BinOp::Times => a * b,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+
+    #[inline]
+    fn opcode(self) -> u8 {
+        match self {
+            BinOp::And => 0,
+            BinOp::Or => 1,
+            BinOp::Xor => 2,
+            BinOp::Plus => 3,
+            BinOp::Minus => 4,
+            BinOp::Times => 5,
+            BinOp::Min => 6,
+            BinOp::Max => 7,
+        }
+    }
+
+    #[inline]
+    fn is_commutative(self) -> bool {
+        !matches!(self, BinOp::Minus)
+    }
+}
+
+#[inline]
+fn is_bool(v: f64) -> bool {
+    v == 0.0 || v == 1.0
+}
+
+/// Owner of all decision-diagram nodes.
+///
+/// All diagrams created by one manager share nodes (maximal sharing), which
+/// is what makes equality checks O(1) and symbolic operations polynomial in
+/// diagram size. Handles ([`Bdd`], [`Add`]) must never be mixed across
+/// managers.
+///
+/// The variable order is the creation order: variable `Var(0)` is tested
+/// first. Use [`Manager::permute`] to move a diagram to a different order.
+///
+/// # Examples
+///
+/// ```
+/// use charfree_dd::{Manager, Var};
+///
+/// let mut m = Manager::new(3);
+/// let x = m.bdd_var(Var(0));
+/// let y = m.bdd_var(Var(1));
+/// let same = m.bdd_and(x, y);
+/// let again = m.bdd_and(x, y);
+/// assert_eq!(same, again); // canonicity: equal functions, equal handles
+/// ```
+#[derive(Debug, Clone)]
+pub struct Manager {
+    nodes: Vec<Node>,
+    terminals: Vec<f64>,
+    unique: FxHashMap<Node, NodeId>,
+    term_unique: FxHashMap<u64, NodeId>,
+    cache2: FxHashMap<(u8, NodeId, NodeId), NodeId>,
+    cache3: FxHashMap<(NodeId, NodeId, NodeId), NodeId>,
+    num_vars: u32,
+    var_names: Vec<Option<String>>,
+    zero: NodeId,
+    one: NodeId,
+}
+
+impl Manager {
+    /// Creates a manager with `num_vars` decision variables.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use charfree_dd::Manager;
+    /// let m = Manager::new(4);
+    /// assert_eq!(m.num_vars(), 4);
+    /// ```
+    pub fn new(num_vars: u32) -> Self {
+        let mut m = Manager {
+            nodes: Vec::new(),
+            terminals: Vec::new(),
+            unique: FxHashMap::default(),
+            term_unique: FxHashMap::default(),
+            cache2: FxHashMap::default(),
+            cache3: FxHashMap::default(),
+            num_vars,
+            var_names: vec![None; num_vars as usize],
+            zero: NodeId::terminal(0),
+            one: NodeId::terminal(0),
+        };
+        m.zero = m.terminal(0.0);
+        m.one = m.terminal(1.0);
+        m
+    }
+
+    /// Number of decision variables.
+    #[inline]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Appends a fresh variable at the bottom of the order and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        self.var_names.push(None);
+        v
+    }
+
+    /// Assigns a display name to `var` (used by [`Manager::to_dot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_var_name(&mut self, var: Var, name: impl Into<String>) {
+        self.var_names[var.0 as usize] = Some(name.into());
+    }
+
+    /// The display name of `var`, if one was assigned.
+    pub fn var_name(&self, var: Var) -> Option<&str> {
+        self.var_names
+            .get(var.0 as usize)
+            .and_then(|n| n.as_deref())
+    }
+
+    /// Total number of live nodes in the arena (internal + terminal),
+    /// across *all* diagrams; see [`Manager::size`] for a single diagram.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len() + self.terminals.len()
+    }
+
+    // ----- terminals -------------------------------------------------------
+
+    /// Interns the terminal node for `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN (terminals must be totally ordered).
+    pub fn terminal(&mut self, value: f64) -> NodeId {
+        assert!(!value.is_nan(), "decision-diagram terminals cannot be NaN");
+        // Fold -0.0 into +0.0 so that bit-level interning stays canonical.
+        let value = if value == 0.0 { 0.0 } else { value };
+        let bits = value.to_bits();
+        if let Some(&id) = self.term_unique.get(&bits) {
+            return id;
+        }
+        let id = NodeId::terminal(self.terminals.len() as u32);
+        self.terminals.push(value);
+        self.term_unique.insert(bits, id);
+        id
+    }
+
+    /// The constant ADD with value `value` everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn constant(&mut self, value: f64) -> Add {
+        Add(self.terminal(value))
+    }
+
+    /// Value of a terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a terminal of this manager.
+    #[inline]
+    pub fn terminal_value(&self, id: NodeId) -> f64 {
+        assert!(id.is_terminal(), "terminal_value on internal node");
+        self.terminals[id.arena_index()]
+    }
+
+    /// The constant-false BDD.
+    #[inline]
+    pub fn bdd_false(&self) -> Bdd {
+        Bdd(self.zero)
+    }
+
+    /// The constant-true BDD.
+    #[inline]
+    pub fn bdd_true(&self) -> Bdd {
+        Bdd(self.one)
+    }
+
+    /// The all-zero ADD.
+    #[inline]
+    pub fn add_zero(&self) -> Add {
+        Add(self.zero)
+    }
+
+    // ----- structural accessors -------------------------------------------
+
+    /// The decision variable tested at node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal.
+    #[inline]
+    pub fn node_var(&self, id: NodeId) -> Var {
+        assert!(!id.is_terminal(), "node_var on terminal");
+        Var(self.nodes[id.arena_index()].var)
+    }
+
+    /// The `(lo, hi)` children of internal node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a terminal.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> (NodeId, NodeId) {
+        assert!(!id.is_terminal(), "children of terminal");
+        let n = &self.nodes[id.arena_index()];
+        (n.lo, n.hi)
+    }
+
+    #[inline]
+    fn level(&self, id: NodeId) -> u32 {
+        if id.is_terminal() {
+            u32::MAX
+        } else {
+            self.nodes[id.arena_index()].var
+        }
+    }
+
+    /// Cofactors of `f` with respect to the variable at `level`; identity if
+    /// `f` does not test that level at its root.
+    #[inline]
+    fn expand(&self, f: NodeId, level: u32) -> (NodeId, NodeId) {
+        if self.level(f) == level {
+            let n = &self.nodes[f.arena_index()];
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// The reduced, canonical node testing `var` with children `lo`/`hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range or if either child tests a variable
+    /// at or above `var` (order violation).
+    pub(crate) fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        assert!(var < self.num_vars, "variable out of range");
+        debug_assert!(self.level(lo) > var && self.level(hi) > var, "order violation");
+        let key = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&key) {
+            return id;
+        }
+        let id = NodeId::internal(self.nodes.len() as u32);
+        self.nodes.push(key);
+        self.unique.insert(key, id);
+        id
+    }
+
+    // ----- BDD construction -------------------------------------------------
+
+    /// The BDD of the single variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn bdd_var(&mut self, var: Var) -> Bdd {
+        let (zero, one) = (self.zero, self.one);
+        Bdd(self.mk(var.0, zero, one))
+    }
+
+    /// The BDD of the negated variable `var`.
+    pub fn bdd_nvar(&mut self, var: Var) -> Bdd {
+        let (zero, one) = (self.zero, self.one);
+        Bdd(self.mk(var.0, one, zero))
+    }
+
+    /// Boolean complement.
+    pub fn bdd_not(&mut self, f: Bdd) -> Bdd {
+        // XOR with true keeps the cache shared with other operations.
+        let one = Bdd(self.one);
+        self.bdd_xor(f, one)
+    }
+
+    /// Boolean conjunction.
+    pub fn bdd_and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        Bdd(self.apply(BinOp::And, f.0, g.0))
+    }
+
+    /// Boolean disjunction.
+    pub fn bdd_or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        Bdd(self.apply(BinOp::Or, f.0, g.0))
+    }
+
+    /// Boolean exclusive or.
+    pub fn bdd_xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        Bdd(self.apply(BinOp::Xor, f.0, g.0))
+    }
+
+    /// Boolean equivalence (`f ↔ g`).
+    pub fn bdd_xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.bdd_xor(f, g);
+        self.bdd_not(x)
+    }
+
+    /// Boolean implication (`f → g`).
+    pub fn bdd_implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let nf = self.bdd_not(f);
+        self.bdd_or(nf, g)
+    }
+
+    /// Boolean difference (`f ∧ ¬g`).
+    pub fn bdd_diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.bdd_not(g);
+        self.bdd_and(f, ng)
+    }
+
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`.
+    pub fn bdd_ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        Bdd(self.ite_rec(f.0, g.0, h.0))
+    }
+
+    // ----- ADD construction -------------------------------------------------
+
+    /// Applies a pointwise binary operation to two ADDs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use charfree_dd::{BinOp, Manager, Var};
+    ///
+    /// let mut m = Manager::new(1);
+    /// let x = m.bdd_var(Var(0));
+    /// let two = m.constant(2.0);
+    /// let five = m.constant(5.0);
+    /// let f = m.add_ite(x, two, five); // x ? 2 : 5
+    /// let g = m.add_apply(BinOp::Plus, f, f);
+    /// assert_eq!(m.add_eval(g, &[false]), 10.0);
+    /// ```
+    pub fn add_apply(&mut self, op: BinOp, f: Add, g: Add) -> Add {
+        Add(self.apply(op, f.0, g.0))
+    }
+
+    /// Pointwise sum (`add_sum` in the paper's pseudo-code, Fig. 6).
+    pub fn add_plus(&mut self, f: Add, g: Add) -> Add {
+        self.add_apply(BinOp::Plus, f, g)
+    }
+
+    /// Pointwise difference.
+    pub fn add_minus(&mut self, f: Add, g: Add) -> Add {
+        self.add_apply(BinOp::Minus, f, g)
+    }
+
+    /// Pointwise product.
+    pub fn add_times(&mut self, f: Add, g: Add) -> Add {
+        self.add_apply(BinOp::Times, f, g)
+    }
+
+    /// Pointwise minimum.
+    pub fn add_min(&mut self, f: Add, g: Add) -> Add {
+        self.add_apply(BinOp::Min, f, g)
+    }
+
+    /// Pointwise maximum.
+    pub fn add_max(&mut self, f: Add, g: Add) -> Add {
+        self.add_apply(BinOp::Max, f, g)
+    }
+
+    /// Multiplies every terminal by the constant `c`
+    /// (`add_times(deltaC, C_i)` in the paper's pseudo-code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is NaN.
+    pub fn add_scale(&mut self, f: Add, c: f64) -> Add {
+        let k = self.constant(c);
+        self.add_times(f, k)
+    }
+
+    /// Selects between two ADDs with a Boolean condition: `b ? g : h`
+    /// pointwise.
+    pub fn add_ite(&mut self, b: Bdd, g: Add, h: Add) -> Add {
+        Add(self.ite_rec(b.0, g.0, h.0))
+    }
+
+    /// Remaps every terminal through `f64 -> f64` function `op`.
+    ///
+    /// The result is reduced (merged equal terminals collapse structure).
+    /// Not cached across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` produces NaN.
+    pub fn add_map_terminals(&mut self, f: Add, op: impl Fn(f64) -> f64) -> Add {
+        let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        Add(self.map_terminals_rec(f.0, &op, &mut memo))
+    }
+
+    fn map_terminals_rec(
+        &mut self,
+        f: NodeId,
+        op: &impl Fn(f64) -> f64,
+        memo: &mut FxHashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let r = if f.is_terminal() {
+            let v = op(self.terminal_value(f));
+            self.terminal(v)
+        } else {
+            let (lo, hi) = self.children(f);
+            let var = self.level(f);
+            let lo2 = self.map_terminals_rec(lo, op, memo);
+            let hi2 = self.map_terminals_rec(hi, op, memo);
+            self.mk(var, lo2, hi2)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// The BDD of input vectors whose ADD value satisfies `pred`.
+    ///
+    /// Useful to enumerate, e.g., all transitions whose switching
+    /// capacitance reaches the maximum.
+    pub fn add_threshold(&mut self, f: Add, pred: impl Fn(f64) -> bool) -> Bdd {
+        let g = self.add_map_terminals(f, |v| if pred(v) { 1.0 } else { 0.0 });
+        Bdd(g.0)
+    }
+
+    /// Reinterprets a BDD as a 0/1 ADD (free; the representation is shared).
+    #[inline]
+    pub fn bdd_to_add(&self, f: Bdd) -> Add {
+        f.as_add()
+    }
+
+    /// Converts a 0/1-valued ADD back into a BDD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ADD has a terminal other than `0.0`/`1.0`.
+    pub fn add_to_bdd(&self, f: Add) -> Bdd {
+        for v in self.terminal_values(f.0) {
+            assert!(is_bool(v), "ADD terminal {v} is not Boolean");
+        }
+        Bdd(f.0)
+    }
+
+    // ----- core recursions --------------------------------------------------
+
+    fn apply(&mut self, op: BinOp, f: NodeId, g: NodeId) -> NodeId {
+        // Terminal short-circuits.
+        if f.is_terminal() && g.is_terminal() {
+            let v = op.eval(self.terminal_value(f), self.terminal_value(g));
+            return self.terminal(v);
+        }
+        match op {
+            BinOp::And => {
+                if f == self.zero || g == self.zero {
+                    return self.zero;
+                }
+                if f == self.one {
+                    return g;
+                }
+                if g == self.one {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            BinOp::Or => {
+                if f == self.one || g == self.one {
+                    return self.one;
+                }
+                if f == self.zero {
+                    return g;
+                }
+                if g == self.zero {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            BinOp::Xor => {
+                if f == g {
+                    return self.zero;
+                }
+                if f == self.zero {
+                    return g;
+                }
+                if g == self.zero {
+                    return f;
+                }
+            }
+            BinOp::Plus => {
+                if f == self.zero {
+                    return g;
+                }
+                if g == self.zero {
+                    return f;
+                }
+            }
+            BinOp::Minus => {
+                if g == self.zero {
+                    return f;
+                }
+            }
+            BinOp::Times => {
+                if f == self.zero || g == self.zero {
+                    return self.zero;
+                }
+                if f == self.one {
+                    return g;
+                }
+                if g == self.one {
+                    return f;
+                }
+            }
+            BinOp::Min | BinOp::Max => {
+                if f == g {
+                    return f;
+                }
+            }
+        }
+
+        let (a, b) = if op.is_commutative() && g < f { (g, f) } else { (f, g) };
+        let key = (op.opcode(), a, b);
+        if let Some(&r) = self.cache2.get(&key) {
+            return r;
+        }
+
+        let level = self.level(a).min(self.level(b));
+        let (a0, a1) = self.expand(a, level);
+        let (b0, b1) = self.expand(b, level);
+        let lo = self.apply(op, a0, b0);
+        let hi = self.apply(op, a1, b1);
+        let r = self.mk(level, lo, hi);
+        self.cache2.insert(key, r);
+        r
+    }
+
+    fn ite_rec(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        if f == self.one {
+            return g;
+        }
+        if f == self.zero {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == self.one && h == self.zero {
+            return f;
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.cache3.get(&key) {
+            return r;
+        }
+        let level = self
+            .level(f)
+            .min(self.level(g))
+            .min(self.level(h));
+        let (f0, f1) = self.expand(f, level);
+        let (g0, g1) = self.expand(g, level);
+        let (h0, h1) = self.expand(h, level);
+        let lo = self.ite_rec(f0, g0, h0);
+        let hi = self.ite_rec(f1, g1, h1);
+        let r = self.mk(level, lo, hi);
+        self.cache3.insert(key, r);
+        r
+    }
+
+    // ----- evaluation & inspection ------------------------------------------
+
+    /// Evaluates a BDD under a complete input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` is smaller than the largest variable
+    /// index tested by `f`.
+    pub fn bdd_eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        self.eval_node(f.0, assignment) != 0.0
+    }
+
+    /// Evaluates an ADD under a complete input assignment.
+    ///
+    /// Runs in time linear in the number of variables — this is the paper's
+    /// "negligible run-time model evaluation".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` is smaller than the largest variable
+    /// index tested by `f`.
+    pub fn add_eval(&self, f: Add, assignment: &[bool]) -> f64 {
+        self.eval_node(f.0, assignment)
+    }
+
+    fn eval_node(&self, mut f: NodeId, assignment: &[bool]) -> f64 {
+        while !f.is_terminal() {
+            let n = &self.nodes[f.arena_index()];
+            f = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+        self.terminal_value(f)
+    }
+
+    /// Number of distinct nodes reachable from `root`, terminals included
+    /// (CUDD's `Cudd_DagSize` convention, which is also how the paper counts
+    /// "ADD nodes" against `MAX`).
+    pub fn size(&self, root: NodeId) -> usize {
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) || id.is_terminal() {
+                continue;
+            }
+            let (lo, hi) = self.children(id);
+            stack.push(lo);
+            stack.push(hi);
+        }
+        seen.len()
+    }
+
+    /// Number of *internal* (decision) nodes reachable from `root`.
+    pub fn internal_size(&self, root: NodeId) -> usize {
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        let mut stack = vec![root];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) || id.is_terminal() {
+                continue;
+            }
+            count += 1;
+            let (lo, hi) = self.children(id);
+            stack.push(lo);
+            stack.push(hi);
+        }
+        count
+    }
+
+    /// All internal nodes reachable from `root`, children before parents.
+    pub fn topological_nodes(&self, root: NodeId) -> Vec<NodeId> {
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        let mut order = Vec::new();
+        // The arena is naturally topological (children are interned before
+        // parents), so a reachability pass plus an index sort suffices.
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            order.push(id);
+            let (lo, hi) = self.children(id);
+            stack.push(lo);
+            stack.push(hi);
+        }
+        order.sort_by_key(|id| id.arena_index());
+        order
+    }
+
+    /// The set of distinct terminal values reachable from `root`
+    /// (ascending).
+    pub fn terminal_values(&self, root: NodeId) -> Vec<f64> {
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        let mut stack = vec![root];
+        let mut values = Vec::new();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            if id.is_terminal() {
+                values.push(self.terminal_value(id));
+            } else {
+                let (lo, hi) = self.children(id);
+                stack.push(lo);
+                stack.push(hi);
+            }
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("terminals are not NaN"));
+        values
+    }
+
+    /// The variables actually tested anywhere in `root` (ascending).
+    pub fn support(&self, root: NodeId) -> Vec<Var> {
+        let mut vars: FxHashSet<u32> = FxHashSet::default();
+        for id in self.topological_nodes(root) {
+            vars.insert(self.nodes[id.arena_index()].var);
+        }
+        let mut vars: Vec<Var> = vars.into_iter().map(Var).collect();
+        vars.sort();
+        vars
+    }
+
+    // ----- restriction, composition, quantification --------------------------
+
+    /// Restriction (cofactor): `f` with `var` fixed to `value`.
+    pub fn restrict(&mut self, f: NodeId, var: Var, value: bool) -> NodeId {
+        let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        self.restrict_rec(f, var.0, value, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: NodeId,
+        var: u32,
+        value: bool,
+        memo: &mut FxHashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if f.is_terminal() || self.level(f) > var {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (lo, hi) = self.children(f);
+        let v = self.level(f);
+        let r = if v == var {
+            if value {
+                hi
+            } else {
+                lo
+            }
+        } else {
+            let lo2 = self.restrict_rec(lo, var, value, memo);
+            let hi2 = self.restrict_rec(hi, var, value, memo);
+            self.mk(v, lo2, hi2)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Existential quantification of a BDD over `var`.
+    pub fn bdd_exists(&mut self, f: Bdd, var: Var) -> Bdd {
+        let lo = self.restrict(f.0, var, false);
+        let hi = self.restrict(f.0, var, true);
+        Bdd(self.apply(BinOp::Or, lo, hi))
+    }
+
+    /// Universal quantification of a BDD over `var`.
+    pub fn bdd_forall(&mut self, f: Bdd, var: Var) -> Bdd {
+        let lo = self.restrict(f.0, var, false);
+        let hi = self.restrict(f.0, var, true);
+        Bdd(self.apply(BinOp::And, lo, hi))
+    }
+
+    /// Rewrites `f` replacing every test of variable `v` by a test of
+    /// `perm[v]`. `perm` must be a permutation of `0..num_vars`.
+    ///
+    /// This is how node functions built over `n` circuit inputs are moved
+    /// onto the `xⁱ` or `xᶠ` variable block of the `2n`-variable transition
+    /// space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != num_vars as usize` or `perm` maps a tested
+    /// variable out of range.
+    pub fn permute(&mut self, f: NodeId, perm: &[Var]) -> NodeId {
+        assert_eq!(perm.len(), self.num_vars as usize, "permutation size mismatch");
+        let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        self.permute_rec(f, perm, &mut memo)
+    }
+
+    fn permute_rec(
+        &mut self,
+        f: NodeId,
+        perm: &[Var],
+        memo: &mut FxHashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (lo, hi) = self.children(f);
+        let v = self.level(f);
+        let lo2 = self.permute_rec(lo, perm, memo);
+        let hi2 = self.permute_rec(hi, perm, memo);
+        let sel = self.bdd_var(perm[v as usize]);
+        let r = self.ite_rec(sel.0, hi2, lo2);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Functional composition: `f` with variable `var` replaced by the
+    /// function `g`.
+    pub fn bdd_compose(&mut self, f: Bdd, var: Var, g: Bdd) -> Bdd {
+        let lo = self.restrict(f.0, var, false);
+        let hi = self.restrict(f.0, var, true);
+        Bdd(self.ite_rec(g.0, hi, lo))
+    }
+
+    /// Number of satisfying assignments of a BDD over `num_vars` variables.
+    pub fn sat_count(&self, f: Bdd) -> f64 {
+        let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
+        let frac = self.sat_frac(f.0, &mut memo);
+        frac * 2f64.powi(self.num_vars as i32)
+    }
+
+    fn sat_frac(&self, f: NodeId, memo: &mut FxHashMap<NodeId, f64>) -> f64 {
+        if f.is_terminal() {
+            return if self.terminal_value(f) != 0.0 { 1.0 } else { 0.0 };
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (lo, hi) = self.children(f);
+        let r = 0.5 * (self.sat_frac(lo, memo) + self.sat_frac(hi, memo));
+        memo.insert(f, r);
+        r
+    }
+
+    /// One satisfying assignment of `f`, or `None` if unsatisfiable.
+    /// Variables outside the support of `f` are returned as `false`.
+    pub fn pick_sat(&self, f: Bdd) -> Option<Vec<bool>> {
+        if f.0 == self.zero {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars as usize];
+        let mut cur = f.0;
+        while !cur.is_terminal() {
+            let n = &self.nodes[cur.arena_index()];
+            // Prefer whichever child is not constant-false.
+            if n.hi != self.zero {
+                assignment[n.var as usize] = true;
+                cur = n.hi;
+            } else {
+                cur = n.lo;
+            }
+        }
+        debug_assert_ne!(self.terminal_value(cur), 0.0);
+        Some(assignment)
+    }
+
+    // ----- housekeeping -------------------------------------------------------
+
+    /// Drops all computed-table entries (unique tables are kept — diagrams
+    /// stay valid). Useful to bound memory between large model builds.
+    pub fn clear_caches(&mut self) {
+        self.cache2.clear();
+        self.cache3.clear();
+    }
+
+    /// Garbage-collects the arena, keeping only nodes reachable from
+    /// `roots`. Returns the remapped handles for `roots`, in order.
+    ///
+    /// **Every** handle not passed through `roots` is invalidated.
+    pub fn compact(&mut self, roots: &[NodeId]) -> Vec<NodeId> {
+        // Reachability.
+        let mut keep: FxHashSet<NodeId> = FxHashSet::default();
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if !keep.insert(id) || id.is_terminal() {
+                continue;
+            }
+            let (lo, hi) = self.children(id);
+            stack.push(lo);
+            stack.push(hi);
+        }
+
+        // Rebuild arenas in (topological) index order.
+        let mut remap: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        let mut new_terms: Vec<f64> = Vec::new();
+        let mut new_term_unique: FxHashMap<u64, NodeId> = FxHashMap::default();
+        for (i, &v) in self.terminals.iter().enumerate() {
+            let old = NodeId::terminal(i as u32);
+            // Always keep 0/1 so `zero`/`one` handles stay valid.
+            if keep.contains(&old) || v == 0.0 || v == 1.0 {
+                let id = NodeId::terminal(new_terms.len() as u32);
+                new_terms.push(v);
+                new_term_unique.insert(v.to_bits(), id);
+                remap.insert(old, id);
+            }
+        }
+        let mut new_nodes: Vec<Node> = Vec::new();
+        let mut new_unique: FxHashMap<Node, NodeId> = FxHashMap::default();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let old = NodeId::internal(i as u32);
+            if !keep.contains(&old) {
+                continue;
+            }
+            let key = Node {
+                var: n.var,
+                lo: remap[&n.lo],
+                hi: remap[&n.hi],
+            };
+            let id = NodeId::internal(new_nodes.len() as u32);
+            new_nodes.push(key);
+            new_unique.insert(key, id);
+            remap.insert(old, id);
+        }
+
+        self.nodes = new_nodes;
+        self.terminals = new_terms;
+        self.unique = new_unique;
+        self.term_unique = new_term_unique;
+        self.cache2.clear();
+        self.cache3.clear();
+        self.zero = remap[&self.zero];
+        self.one = remap[&self.one];
+        roots.iter().map(|r| remap[r]).collect()
+    }
+
+    /// Renders `root` in Graphviz DOT syntax (solid edge = `1`, dashed =
+    /// `0`).
+    pub fn to_dot(&self, root: NodeId) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph dd {\n  rankdir=TB;\n");
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            if id.is_terminal() {
+                let _ = writeln!(
+                    out,
+                    "  \"{id:?}\" [shape=box,label=\"{}\"];",
+                    self.terminal_value(id)
+                );
+            } else {
+                let var = self.node_var(id);
+                let label = self
+                    .var_name(var)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| var.to_string());
+                let _ = writeln!(out, "  \"{id:?}\" [shape=circle,label=\"{label}\"];");
+                let (lo, hi) = self.children(id);
+                let _ = writeln!(out, "  \"{id:?}\" -> \"{lo:?}\" [style=dashed];");
+                let _ = writeln!(out, "  \"{id:?}\" -> \"{hi:?}\";");
+                stack.push(lo);
+                stack.push(hi);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup3() -> (Manager, Bdd, Bdd, Bdd) {
+        let mut m = Manager::new(3);
+        let a = m.bdd_var(Var(0));
+        let b = m.bdd_var(Var(1));
+        let c = m.bdd_var(Var(2));
+        (m, a, b, c)
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let mut m = Manager::new(0);
+        assert_eq!(m.constant(2.5), m.constant(2.5));
+        assert_eq!(m.constant(0.0), m.constant(-0.0));
+        assert_ne!(m.constant(1.0), m.constant(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_terminal_panics() {
+        let mut m = Manager::new(0);
+        let _ = m.constant(f64::NAN);
+    }
+
+    #[test]
+    fn canonicity_of_boolean_ops() {
+        let (mut m, a, b, _) = setup3();
+        let ab = m.bdd_and(a, b);
+        let ba = m.bdd_and(b, a);
+        assert_eq!(ab, ba);
+
+        // De Morgan.
+        let na = m.bdd_not(a);
+        let nb = m.bdd_not(b);
+        let lhs = m.bdd_not(ab);
+        let rhs = m.bdd_or(na, nb);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn double_negation() {
+        let (mut m, a, b, c) = setup3();
+        let f = m.bdd_xor(a, b);
+        let f = m.bdd_or(f, c);
+        let nf = m.bdd_not(f);
+        let nnf = m.bdd_not(nf);
+        assert_eq!(f, nnf);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let (mut m, a, b, c) = setup3();
+        let ab = m.bdd_and(a, b);
+        let f = m.bdd_or(ab, c);
+        for bits in 0..8u32 {
+            let assignment = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let expected = (assignment[0] && assignment[1]) || assignment[2];
+            assert_eq!(m.bdd_eval(f, &assignment), expected, "bits={bits:03b}");
+        }
+    }
+
+    #[test]
+    fn ite_agrees_with_and_or_form() {
+        let (mut m, a, b, c) = setup3();
+        let ite = m.bdd_ite(a, b, c);
+        let t1 = m.bdd_and(a, b);
+        let na = m.bdd_not(a);
+        let t2 = m.bdd_and(na, c);
+        let or = m.bdd_or(t1, t2);
+        assert_eq!(ite, or);
+    }
+
+    #[test]
+    fn add_arithmetic() {
+        let mut m = Manager::new(2);
+        let x = m.bdd_var(Var(0));
+        let y = m.bdd_var(Var(1));
+        let c40 = m.constant(40.0);
+        let c50 = m.constant(50.0);
+        let zero = m.add_zero();
+        let fx = m.add_ite(x, c40, zero); // 40*x
+        let fy = m.add_ite(y, c50, zero); // 50*y
+        let sum = m.add_plus(fx, fy);
+        assert_eq!(m.add_eval(sum, &[false, false]), 0.0);
+        assert_eq!(m.add_eval(sum, &[true, false]), 40.0);
+        assert_eq!(m.add_eval(sum, &[false, true]), 50.0);
+        assert_eq!(m.add_eval(sum, &[true, true]), 90.0);
+
+        let doubled = m.add_scale(sum, 2.0);
+        assert_eq!(m.add_eval(doubled, &[true, true]), 180.0);
+
+        let diff = m.add_minus(sum, fx);
+        assert_eq!(m.add_eval(diff, &[true, true]), 50.0);
+
+        let mx = m.add_max(fx, fy);
+        assert_eq!(m.add_eval(mx, &[true, true]), 50.0);
+        let mn = m.add_min(fx, fy);
+        assert_eq!(m.add_eval(mn, &[true, true]), 40.0);
+    }
+
+    #[test]
+    fn terminal_values_are_sorted_and_deduped() {
+        let mut m = Manager::new(2);
+        let x = m.bdd_var(Var(0));
+        let y = m.bdd_var(Var(1));
+        let c40 = m.constant(40.0);
+        let c50 = m.constant(50.0);
+        let zero = m.add_zero();
+        let fx = m.add_ite(x, c40, zero);
+        let fy = m.add_ite(y, c50, zero);
+        let sum = m.add_plus(fx, fy);
+        assert_eq!(m.terminal_values(sum.node()), vec![0.0, 40.0, 50.0, 90.0]);
+    }
+
+    #[test]
+    fn restrict_and_compose() {
+        let (mut m, a, b, c) = setup3();
+        let f = m.bdd_ite(a, b, c);
+        let f1 = Bdd(m.restrict(f.0, Var(0), true));
+        assert_eq!(f1, b);
+        let f0 = Bdd(m.restrict(f.0, Var(0), false));
+        assert_eq!(f0, c);
+
+        // Composing a back in via ite on var 0 restores f.
+        let g = m.bdd_compose(f, Var(1), c); // ite(a, c, c) = c
+        assert_eq!(g, c);
+    }
+
+    #[test]
+    fn quantification() {
+        let (mut m, a, b, _) = setup3();
+        let f = m.bdd_and(a, b);
+        let ex = m.bdd_exists(f, Var(0));
+        assert_eq!(ex, b);
+        let fa = m.bdd_forall(f, Var(0));
+        assert_eq!(fa, m.bdd_false());
+    }
+
+    #[test]
+    fn sat_count_and_pick() {
+        let (mut m, a, b, _) = setup3();
+        let f = m.bdd_xor(a, b);
+        // xor over 3 vars: 4 satisfying assignments (free third var).
+        assert_eq!(m.sat_count(f), 4.0);
+        let sat = m.pick_sat(f).expect("satisfiable");
+        assert!(m.bdd_eval(f, &sat));
+        assert_eq!(m.pick_sat(m.bdd_false()), None);
+    }
+
+    #[test]
+    fn permute_swaps_variables() {
+        let (mut m, a, b, c) = setup3();
+        let f = m.bdd_and(a, b);
+        let f = m.bdd_or(f, c);
+        // Swap variables 0 and 1 — function is symmetric in them.
+        let g = m.permute(f.0, &[Var(1), Var(0), Var(2)]);
+        assert_eq!(g, f.0);
+        // Map everything up by rotation and check semantics: permute
+        // replaces a test of v by a test of perm[v], so
+        // g(a) = f(a[perm[0]], a[perm[1]], a[perm[2]]).
+        let perm = [Var(2), Var(0), Var(1)];
+        let g = Bdd(m.permute(f.0, &perm));
+        for bits in 0..8u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let pulled = [
+                asg[perm[0].index() as usize],
+                asg[perm[1].index() as usize],
+                asg[perm[2].index() as usize],
+            ];
+            assert_eq!(m.bdd_eval(g, &asg), m.bdd_eval(f, &pulled));
+        }
+    }
+
+    #[test]
+    fn size_counts_terminals_like_cudd() {
+        let (mut m, a, b, _) = setup3();
+        let f = m.bdd_and(a, b);
+        // nodes: a-node, b-node, 0, 1
+        assert_eq!(m.size(f.0), 4);
+        assert_eq!(m.internal_size(f.0), 2);
+    }
+
+    #[test]
+    fn support_reports_tested_vars() {
+        let (mut m, a, _, c) = setup3();
+        let f = m.bdd_and(a, c);
+        assert_eq!(m.support(f.0), vec![Var(0), Var(2)]);
+    }
+
+    #[test]
+    fn compact_preserves_semantics() {
+        let (mut m, a, b, c) = setup3();
+        let keep = m.bdd_ite(a, b, c);
+        // Build garbage.
+        for _ in 0..10 {
+            let g = m.bdd_xor(keep, a);
+            let _ = m.bdd_and(g, b);
+        }
+        let before = m.arena_len();
+        let roots = m.compact(&[keep.0]);
+        let keep2 = Bdd(roots[0]);
+        assert!(m.arena_len() < before);
+        for bits in 0..8u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let expected = if asg[0] { asg[1] } else { asg[2] };
+            assert_eq!(m.bdd_eval(keep2, &asg), expected);
+        }
+        // Manager still works after compaction.
+        let x = m.bdd_var(Var(0));
+        let nx = m.bdd_not(x);
+        let t = m.bdd_or(x, nx);
+        assert_eq!(t, m.bdd_true());
+    }
+
+    #[test]
+    fn threshold_extracts_level_sets() {
+        let mut m = Manager::new(2);
+        let x = m.bdd_var(Var(0));
+        let y = m.bdd_var(Var(1));
+        let c40 = m.constant(40.0);
+        let c50 = m.constant(50.0);
+        let zero = m.add_zero();
+        let fx = m.add_ite(x, c40, zero);
+        let fy = m.add_ite(y, c50, zero);
+        let sum = m.add_plus(fx, fy);
+        let heavy = m.add_threshold(sum, |v| v >= 50.0);
+        assert_eq!(m.sat_count(heavy), 2.0); // {01, 11}
+        assert!(m.bdd_eval(heavy, &[true, true]));
+        assert!(!m.bdd_eval(heavy, &[true, false]));
+    }
+
+    #[test]
+    fn map_terminals_reduces() {
+        let mut m = Manager::new(1);
+        let x = m.bdd_var(Var(0));
+        let c2 = m.constant(2.0);
+        let c3 = m.constant(3.0);
+        let f = m.add_ite(x, c2, c3);
+        // Collapsing both terminals to the same value must reduce to a leaf.
+        let g = m.add_map_terminals(f, |_| 7.0);
+        assert!(g.node().is_terminal());
+        assert_eq!(m.terminal_value(g.node()), 7.0);
+    }
+
+    #[test]
+    fn to_dot_mentions_every_node() {
+        let (mut m, a, b, _) = setup3();
+        let f = m.bdd_and(a, b);
+        let dot = m.to_dot(f.node());
+        assert!(dot.contains("digraph"));
+        assert!(dot.matches("shape=circle").count() == 2);
+        assert!(dot.matches("shape=box").count() == 2);
+    }
+
+    #[test]
+    fn new_var_extends_order() {
+        let mut m = Manager::new(1);
+        let v = m.new_var();
+        assert_eq!(v, Var(1));
+        assert_eq!(m.num_vars(), 2);
+        let b = m.bdd_var(v);
+        assert!(m.bdd_eval(b, &[false, true]));
+    }
+}

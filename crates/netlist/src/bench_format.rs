@@ -1,0 +1,625 @@
+//! ISCAS-85 `.bench` netlist reader and writer.
+//!
+//! The `.bench` format is the other lingua franca of 1990s benchmark
+//! suites (ISCAS-85/89) next to BLIF:
+//!
+//! ```text
+//! # c17
+//! INPUT(1)
+//! INPUT(2)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! 22 = NAND(10, 16)
+//! ```
+//!
+//! Supported functions: `AND`, `NAND`, `OR`, `NOR`, `XOR`, `XNOR` (any
+//! arity ≥ 2, decomposed onto 2/3-input library cells), `NOT`, `BUF`/
+//! `BUFF`, and `MUX` (3 pins: select, a, b). Sequential `DFF` elements are
+//! rejected — the golden model is combinational.
+
+use crate::library::CellKind;
+use crate::netlist::{Netlist, NetlistError, SignalId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `.bench` reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchError {
+    /// Malformed line (1-based number and description).
+    Syntax(usize, String),
+    /// Unknown gate function name.
+    UnknownFunction(usize, String),
+    /// A net is used but never defined.
+    Undefined(String),
+    /// A net is defined more than once.
+    MultipleDrivers(String),
+    /// Definitions form a combinational cycle.
+    Cycle(String),
+    /// Netlist construction failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Syntax(l, m) => write!(f, "line {l}: {m}"),
+            BenchError::UnknownFunction(l, n) => write!(f, "line {l}: unknown function `{n}`"),
+            BenchError::Undefined(n) => write!(f, "net `{n}` is used but never defined"),
+            BenchError::MultipleDrivers(n) => write!(f, "net `{n}` has multiple drivers"),
+            BenchError::Cycle(n) => write!(f, "combinational cycle through `{n}`"),
+            BenchError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for BenchError {}
+
+impl From<NetlistError> for BenchError {
+    fn from(e: NetlistError) -> Self {
+        BenchError::Netlist(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Func {
+    And,
+    Nand,
+    Or,
+    Nor,
+    Xor,
+    Xnor,
+    Not,
+    Buf,
+    Mux,
+}
+
+impl Func {
+    fn parse(name: &str) -> Option<Func> {
+        match name.to_ascii_uppercase().as_str() {
+            "AND" => Some(Func::And),
+            "NAND" => Some(Func::Nand),
+            "OR" => Some(Func::Or),
+            "NOR" => Some(Func::Nor),
+            "XOR" => Some(Func::Xor),
+            "XNOR" => Some(Func::Xnor),
+            "NOT" | "INV" => Some(Func::Not),
+            "BUF" | "BUFF" => Some(Func::Buf),
+            "MUX" => Some(Func::Mux),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Definition {
+    func: Func,
+    inputs: Vec<String>,
+    output: String,
+    line: usize,
+}
+
+/// Parses `.bench` text into a mapped gate-level [`Netlist`].
+///
+/// Wide AND/OR/NAND/NOR/XOR/XNOR gates are decomposed into balanced trees
+/// of 2/3-input library cells (with a trailing inverter for the negated
+/// forms).
+///
+/// # Errors
+///
+/// See [`BenchError`]; `DFF` lines are rejected as sequential.
+///
+/// # Examples
+///
+/// ```
+/// use charfree_netlist::bench_format;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c17ish = "
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// t = NAND(a, b)
+/// y = NOT(t)
+/// ";
+/// let netlist = bench_format::parse("c17ish", c17ish)?;
+/// assert_eq!(netlist.num_inputs(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(name: &str, text: &str) -> Result<Netlist, BenchError> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut defs: Vec<Definition> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if let Some(rest) = upper.strip_prefix("INPUT") {
+            inputs.push(extract_paren(rest, line, line_no)?);
+        } else if let Some(rest) = upper.strip_prefix("OUTPUT") {
+            outputs.push(extract_paren(rest, line, line_no)?);
+        } else if upper.contains("DFF") {
+            return Err(BenchError::Syntax(
+                line_no,
+                "sequential elements (DFF) are not supported".into(),
+            ));
+        } else if let Some(eq) = line.find('=') {
+            let output = line[..eq].trim().to_owned();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| BenchError::Syntax(line_no, "missing `(`".into()))?;
+            let close = rhs
+                .rfind(')')
+                .ok_or_else(|| BenchError::Syntax(line_no, "missing `)`".into()))?;
+            let func_name = rhs[..open].trim();
+            let func = Func::parse(func_name)
+                .ok_or_else(|| BenchError::UnknownFunction(line_no, func_name.to_owned()))?;
+            let pins: Vec<String> = rhs[open + 1..close]
+                .split(',')
+                .map(|p| p.trim().to_owned())
+                .filter(|p| !p.is_empty())
+                .collect();
+            let arity_ok = match func {
+                Func::Not | Func::Buf => pins.len() == 1,
+                Func::Mux => pins.len() == 3,
+                _ => pins.len() >= 2,
+            };
+            if !arity_ok {
+                return Err(BenchError::Syntax(
+                    line_no,
+                    format!("`{func_name}` got {} operand(s)", pins.len()),
+                ));
+            }
+            defs.push(Definition {
+                func,
+                inputs: pins,
+                output,
+                line: line_no,
+            });
+        } else {
+            return Err(BenchError::Syntax(line_no, format!("unexpected line `{line}`")));
+        }
+    }
+
+    elaborate(name, inputs, outputs, defs)
+}
+
+fn extract_paren(rest: &str, original: &str, line_no: usize) -> Result<String, BenchError> {
+    let rest = rest.trim();
+    if !rest.starts_with('(') || !rest.ends_with(')') {
+        return Err(BenchError::Syntax(line_no, format!("bad directive `{original}`")));
+    }
+    // Use the original (case-preserved) text for the net name.
+    let open = original.find('(').expect("checked");
+    let close = original.rfind(')').expect("checked");
+    Ok(original[open + 1..close].trim().to_owned())
+}
+
+fn emit(
+    netlist: &mut Netlist,
+    def: &Definition,
+    pins: &[SignalId],
+) -> Result<SignalId, NetlistError> {
+    // Balanced 2/3-input reduction for the wide associative functions.
+    // Intermediate nets are named `<output>_t<k>` so they can never collide
+    // with nets defined later in the file (auto names only check against
+    // already-interned signals).
+    fn reduce(
+        netlist: &mut Netlist,
+        mut sigs: Vec<SignalId>,
+        two: CellKind,
+        three: CellKind,
+        prefix: &str,
+        counter: &mut usize,
+    ) -> Result<SignalId, NetlistError> {
+        let mut fresh = |netlist: &mut Netlist, kind: CellKind, ins: &[SignalId]| {
+            let name = format!("{prefix}_t{counter}");
+            *counter += 1;
+            netlist.add_gate_named(kind, ins, name)
+        };
+        while sigs.len() > 1 {
+            let mut next = Vec::with_capacity(sigs.len() / 2 + 1);
+            let mut rest = sigs.as_slice();
+            while !rest.is_empty() {
+                match rest.len() {
+                    1 => {
+                        next.push(rest[0]);
+                        rest = &rest[1..];
+                    }
+                    2 | 4 => {
+                        next.push(fresh(netlist, two, &rest[..2])?);
+                        rest = &rest[2..];
+                    }
+                    _ => {
+                        next.push(fresh(netlist, three, &rest[..3])?);
+                        rest = &rest[3..];
+                    }
+                }
+            }
+            sigs = next;
+        }
+        Ok(sigs[0])
+    }
+    fn reduce_xor(
+        netlist: &mut Netlist,
+        mut sigs: Vec<SignalId>,
+        prefix: &str,
+        counter: &mut usize,
+    ) -> Result<SignalId, NetlistError> {
+        while sigs.len() > 1 {
+            let mut next = Vec::with_capacity(sigs.len() / 2 + 1);
+            for pair in sigs.chunks(2) {
+                match pair {
+                    [a, b] => {
+                        let name = format!("{prefix}_t{counter}");
+                        *counter += 1;
+                        next.push(netlist.add_gate_named(CellKind::Xor2, &[*a, *b], name)?);
+                    }
+                    [a] => next.push(*a),
+                    _ => unreachable!("chunks(2)"),
+                }
+            }
+            sigs = next;
+        }
+        Ok(sigs[0])
+    }
+    let mut counter = 0usize;
+
+    let named = |netlist: &mut Netlist, kind: CellKind, ins: &[SignalId]| {
+        netlist.add_gate_named(kind, ins, def.output.clone())
+    };
+    match def.func {
+        Func::Not => named(netlist, CellKind::Inv, &[pins[0]]),
+        Func::Buf => named(netlist, CellKind::Buf, &[pins[0]]),
+        Func::Mux => named(netlist, CellKind::Mux2, pins),
+        Func::And if pins.len() == 2 => named(netlist, CellKind::And2, pins),
+        Func::Or if pins.len() == 2 => named(netlist, CellKind::Or2, pins),
+        Func::Nand if pins.len() == 2 => named(netlist, CellKind::Nand2, pins),
+        Func::Nor if pins.len() == 2 => named(netlist, CellKind::Nor2, pins),
+        Func::Xor if pins.len() == 2 => named(netlist, CellKind::Xor2, pins),
+        Func::Xnor if pins.len() == 2 => named(netlist, CellKind::Xnor2, pins),
+        Func::And => {
+            let t = reduce(netlist, pins.to_vec(), CellKind::And2, CellKind::And3, &def.output, &mut counter)?;
+            named(netlist, CellKind::Buf, &[t])
+        }
+        Func::Or => {
+            let t = reduce(netlist, pins.to_vec(), CellKind::Or2, CellKind::Or3, &def.output, &mut counter)?;
+            named(netlist, CellKind::Buf, &[t])
+        }
+        Func::Nand => {
+            let t = reduce(netlist, pins.to_vec(), CellKind::And2, CellKind::And3, &def.output, &mut counter)?;
+            named(netlist, CellKind::Inv, &[t])
+        }
+        Func::Nor => {
+            let t = reduce(netlist, pins.to_vec(), CellKind::Or2, CellKind::Or3, &def.output, &mut counter)?;
+            named(netlist, CellKind::Inv, &[t])
+        }
+        Func::Xor => {
+            let t = reduce_xor(netlist, pins.to_vec(), &def.output, &mut counter)?;
+            named(netlist, CellKind::Buf, &[t])
+        }
+        Func::Xnor => {
+            let t = reduce_xor(netlist, pins.to_vec(), &def.output, &mut counter)?;
+            named(netlist, CellKind::Inv, &[t])
+        }
+    }
+}
+
+fn elaborate(
+    name: &str,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    defs: Vec<Definition>,
+) -> Result<Netlist, BenchError> {
+    let mut driver_of: HashMap<&str, usize> = HashMap::new();
+    for (i, d) in defs.iter().enumerate() {
+        if driver_of.insert(d.output.as_str(), i).is_some()
+            || inputs.iter().any(|n| *n == d.output)
+        {
+            return Err(BenchError::MultipleDrivers(d.output.clone()));
+        }
+    }
+
+    let mut netlist = Netlist::new(name);
+    let mut sig: HashMap<String, SignalId> = HashMap::new();
+    for input in &inputs {
+        let id = netlist
+            .add_input(input.clone())
+            .map_err(BenchError::Netlist)?;
+        sig.insert(input.clone(), id);
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Visiting,
+        Done,
+    }
+    let mut marks: HashMap<usize, Mark> = HashMap::new();
+    for start in 0..defs.len() {
+        if marks.get(&start) == Some(&Mark::Done) {
+            continue;
+        }
+        let mut stack = vec![start];
+        while let Some(&node) = stack.last() {
+            match marks.get(&node) {
+                Some(Mark::Done) => {
+                    stack.pop();
+                }
+                Some(Mark::Visiting) => {
+                    let def = &defs[node];
+                    let mut pins = Vec::with_capacity(def.inputs.len());
+                    for pin in &def.inputs {
+                        match sig.get(pin.as_str()) {
+                            Some(&id) => pins.push(id),
+                            None => return Err(BenchError::Cycle(pin.clone())),
+                        }
+                    }
+                    let out = emit(&mut netlist, def, &pins)?;
+                    sig.insert(def.output.clone(), out);
+                    marks.insert(node, Mark::Done);
+                    stack.pop();
+                }
+                None => {
+                    marks.insert(node, Mark::Visiting);
+                    let def = &defs[node];
+                    for pin in &def.inputs {
+                        if sig.contains_key(pin.as_str()) {
+                            continue;
+                        }
+                        match driver_of.get(pin.as_str()) {
+                            Some(&dep) => match marks.get(&dep) {
+                                Some(Mark::Done) => {}
+                                Some(Mark::Visiting) => {
+                                    return Err(BenchError::Cycle(pin.clone()));
+                                }
+                                None => stack.push(dep),
+                            },
+                            None => {
+                                let _ = def.line;
+                                return Err(BenchError::Undefined(pin.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for out in &outputs {
+        let id = sig
+            .get(out.as_str())
+            .copied()
+            .ok_or_else(|| BenchError::Undefined(out.clone()))?;
+        netlist.mark_output(id).map_err(BenchError::Netlist)?;
+    }
+    netlist.validate().map_err(BenchError::Netlist)?;
+    Ok(netlist)
+}
+
+/// Serializes a mapped netlist in `.bench` syntax. Complex cells with no
+/// direct `.bench` function (`MUX`, AOI/OAI) are emitted as `MUX` /
+/// expanded into their AND/OR/NOT form, so the output always re-parses.
+pub fn write(netlist: &Netlist) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    for &i in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.signal_name(i));
+    }
+    for &o in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.signal_name(o));
+    }
+    for (gid, gate) in netlist.gates() {
+        let pin = |k: usize| netlist.signal_name(gate.inputs()[k]).to_owned();
+        let y = netlist.signal_name(gate.output());
+        match gate.kind() {
+            CellKind::Inv => {
+                let _ = writeln!(out, "{y} = NOT({})", pin(0));
+            }
+            CellKind::Buf => {
+                let _ = writeln!(out, "{y} = BUFF({})", pin(0));
+            }
+            CellKind::Nand2 => {
+                let _ = writeln!(out, "{y} = NAND({}, {})", pin(0), pin(1));
+            }
+            CellKind::Nand3 => {
+                let _ = writeln!(out, "{y} = NAND({}, {}, {})", pin(0), pin(1), pin(2));
+            }
+            CellKind::Nand4 => {
+                let _ = writeln!(
+                    out,
+                    "{y} = NAND({}, {}, {}, {})",
+                    pin(0),
+                    pin(1),
+                    pin(2),
+                    pin(3)
+                );
+            }
+            CellKind::Nor2 => {
+                let _ = writeln!(out, "{y} = NOR({}, {})", pin(0), pin(1));
+            }
+            CellKind::Nor3 => {
+                let _ = writeln!(out, "{y} = NOR({}, {}, {})", pin(0), pin(1), pin(2));
+            }
+            CellKind::Nor4 => {
+                let _ = writeln!(
+                    out,
+                    "{y} = NOR({}, {}, {}, {})",
+                    pin(0),
+                    pin(1),
+                    pin(2),
+                    pin(3)
+                );
+            }
+            CellKind::And2 => {
+                let _ = writeln!(out, "{y} = AND({}, {})", pin(0), pin(1));
+            }
+            CellKind::And3 => {
+                let _ = writeln!(out, "{y} = AND({}, {}, {})", pin(0), pin(1), pin(2));
+            }
+            CellKind::Or2 => {
+                let _ = writeln!(out, "{y} = OR({}, {})", pin(0), pin(1));
+            }
+            CellKind::Or3 => {
+                let _ = writeln!(out, "{y} = OR({}, {}, {})", pin(0), pin(1), pin(2));
+            }
+            CellKind::Xor2 => {
+                let _ = writeln!(out, "{y} = XOR({}, {})", pin(0), pin(1));
+            }
+            CellKind::Xnor2 => {
+                let _ = writeln!(out, "{y} = XNOR({}, {})", pin(0), pin(1));
+            }
+            CellKind::Mux2 => {
+                let _ = writeln!(out, "{y} = MUX({}, {}, {})", pin(0), pin(1), pin(2));
+            }
+            CellKind::Aoi21 => {
+                // !(p0·p1 + p2): expand through helper nets.
+                let _ = writeln!(out, "{y}_and = AND({}, {})", pin(0), pin(1));
+                let _ = writeln!(out, "{y} = NOR({y}_and, {})", pin(2));
+            }
+            CellKind::Oai21 => {
+                let _ = writeln!(out, "{y}_or = OR({}, {})", pin(0), pin(1));
+                let _ = writeln!(out, "{y} = NAND({y}_or, {})", pin(2));
+            }
+        }
+        let _ = gid;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::Library;
+
+    fn eval(n: &Netlist, inputs: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; n.num_signals()];
+        for (i, &sigid) in n.inputs().iter().enumerate() {
+            values[sigid.index()] = inputs[i];
+        }
+        for (_, gate) in n.gates() {
+            let ins: Vec<bool> = gate.inputs().iter().map(|s| values[s.index()]).collect();
+            values[gate.output().index()] = gate.kind().eval(&ins);
+        }
+        n.outputs().iter().map(|o| values[o.index()]).collect()
+    }
+
+    const C17: &str = "
+# ISCAS-85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parse_c17_and_check_function() {
+        let n = parse("c17", C17).expect("valid bench");
+        assert_eq!(n.num_inputs(), 5);
+        assert_eq!(n.outputs().len(), 2);
+        assert_eq!(n.num_gates(), 6);
+        // Reference model of c17.
+        let nand = |a: bool, b: bool| !(a && b);
+        for bits in 0..32u32 {
+            let v: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let (i1, i2, i3, i6, i7) = (v[0], v[1], v[2], v[3], v[4]);
+            let g10 = nand(i1, i3);
+            let g11 = nand(i3, i6);
+            let g16 = nand(i2, g11);
+            let g19 = nand(g11, i7);
+            let want = vec![nand(g10, g16), nand(g16, g19)];
+            assert_eq!(eval(&n, &v), want, "bits={bits:05b}");
+        }
+    }
+
+    #[test]
+    fn wide_gates_decompose() {
+        let text = "
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(y)
+OUTPUT(z)
+y = NAND(a, b, c, d, e)
+z = XNOR(a, b, c)
+";
+        let n = parse("wide", text).expect("valid");
+        for bits in 0..32u32 {
+            let v: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let want_y = !(v.iter().all(|&x| x));
+            let want_z = !(v[0] ^ v[1] ^ v[2]);
+            assert_eq!(eval(&n, &v), vec![want_y, want_z], "bits={bits:05b}");
+        }
+    }
+
+    #[test]
+    fn round_trip_benchmarks() {
+        let library = Library::test_library();
+        for netlist in [
+            benchmarks::paper_unit(),
+            benchmarks::cm85(&library),
+            benchmarks::mux(&library), // exercises MUX emission
+            benchmarks::x2(&library),  // exercises AOI/OAI expansion
+        ] {
+            let text = write(&netlist);
+            let back = parse(netlist.name(), &text).expect("round-trips");
+            assert_eq!(back.num_inputs(), netlist.num_inputs(), "{}", netlist.name());
+            for trial in 0..64u32 {
+                let asg: Vec<bool> = (0..netlist.num_inputs())
+                    .map(|i| trial.wrapping_mul(2654435761).rotate_left(i as u32) & 4 != 0)
+                    .collect();
+                assert_eq!(eval(&back, &asg), eval(&netlist, &asg), "{}", netlist.name());
+            }
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            parse("t", "INPUT(a)\nOUTPUT(y)\ny = DFF(a)"),
+            Err(BenchError::Syntax(..))
+        ));
+        assert!(matches!(
+            parse("t", "INPUT(a)\nOUTPUT(y)\ny = FROB(a, a)"),
+            Err(BenchError::UnknownFunction(..))
+        ));
+        assert!(matches!(
+            parse("t", "INPUT(a)\nOUTPUT(y)\ny = NOT(q)"),
+            Err(BenchError::Undefined(_))
+        ));
+        assert!(matches!(
+            parse("t", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)"),
+            Err(BenchError::MultipleDrivers(_))
+        ));
+        assert!(matches!(
+            parse("t", "INPUT(a)\nOUTPUT(y)\nu = NOT(v)\nv = NOT(u)\ny = AND(a, u)"),
+            Err(BenchError::Cycle(_))
+        ));
+        assert!(matches!(
+            parse("t", "INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)"),
+            Err(BenchError::Syntax(..))
+        ));
+    }
+}

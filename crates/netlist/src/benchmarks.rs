@@ -1,0 +1,1098 @@
+//! MCNC-equivalent benchmark circuits.
+//!
+//! The paper evaluates on MCNC'91 circuits mapped onto a test gate library.
+//! The MCNC suite itself is not redistributable here, so this module builds
+//! *functional equivalents*: circuits with the published name and
+//! primary-input count and the same kind of logic (see DESIGN.md §4 for the
+//! substitution argument). Real `.blif` files can always be used instead
+//! via [`crate::blif::parse`].
+//!
+//! Every constructor returns a validated netlist with loads back-annotated
+//! from the given library.
+
+use crate::library::{CellKind, Library};
+use crate::netlist::{Netlist, SignalId};
+use crate::units::Capacitance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a balanced tree of `two`/`three`-input gates over `signals`.
+fn tree(n: &mut Netlist, mut signals: Vec<SignalId>, two: CellKind, three: CellKind) -> SignalId {
+    assert!(!signals.is_empty());
+    while signals.len() > 1 {
+        let mut next = Vec::with_capacity(signals.len() / 2 + 1);
+        let mut rest = signals.as_slice();
+        while !rest.is_empty() {
+            match rest.len() {
+                1 => {
+                    next.push(rest[0]);
+                    rest = &rest[1..];
+                }
+                2 | 4 => {
+                    next.push(n.add_gate(two, &rest[..2]).expect("valid gate"));
+                    rest = &rest[2..];
+                }
+                _ => {
+                    next.push(n.add_gate(three, &rest[..3]).expect("valid gate"));
+                    rest = &rest[3..];
+                }
+            }
+        }
+        signals = next;
+    }
+    signals[0]
+}
+
+fn and_tree(n: &mut Netlist, signals: Vec<SignalId>) -> SignalId {
+    tree(n, signals, CellKind::And2, CellKind::And3)
+}
+
+fn or_tree(n: &mut Netlist, signals: Vec<SignalId>) -> SignalId {
+    tree(n, signals, CellKind::Or2, CellKind::Or3)
+}
+
+fn xor_tree(n: &mut Netlist, mut signals: Vec<SignalId>) -> SignalId {
+    assert!(!signals.is_empty());
+    while signals.len() > 1 {
+        let mut next = Vec::with_capacity(signals.len() / 2 + 1);
+        for pair in signals.chunks(2) {
+            match pair {
+                [a, b] => next.push(n.add_gate(CellKind::Xor2, &[*a, *b]).expect("valid gate")),
+                [a] => next.push(*a),
+                _ => unreachable!("chunks(2)"),
+            }
+        }
+        signals = next;
+    }
+    signals[0]
+}
+
+fn finish(mut n: Netlist, library: &Library) -> Netlist {
+    n.annotate_loads(library);
+    n.validate().expect("generated netlist is valid");
+    n
+}
+
+/// The paper's running example (Fig. 2a): `g1 = x1'`, `g2 = x2'`,
+/// `g3 = x1 + x2`, with loads `C1 = 40 fF`, `C2 = 50 fF`, `C3 = 10 fF`.
+///
+/// Loads are fixed to the figure's values, *not* derived from a library, so
+/// every golden number of Examples 1–5 can be asserted exactly.
+///
+/// # Examples
+///
+/// ```
+/// use charfree_netlist::benchmarks::paper_unit;
+/// let u = paper_unit();
+/// assert_eq!(u.num_inputs(), 2);
+/// assert_eq!(u.num_gates(), 3);
+/// assert_eq!(u.total_load().femtofarads(), 100.0);
+/// ```
+pub fn paper_unit() -> Netlist {
+    let mut n = Netlist::new("unit_u");
+    let x1 = n.add_input("x1").expect("fresh");
+    let x2 = n.add_input("x2").expect("fresh");
+    let g1 = n.add_gate_named(CellKind::Inv, &[x1], "g1").expect("ok");
+    let g2 = n.add_gate_named(CellKind::Inv, &[x2], "g2").expect("ok");
+    let g3 = n.add_gate_named(CellKind::Or2, &[x1, x2], "g3").expect("ok");
+    for s in [g1, g2, g3] {
+        n.mark_output(s).expect("ok");
+    }
+    for (gate, load) in [(g1, 40.0), (g2, 50.0), (g3, 10.0)] {
+        let id = n.driver(gate).expect("driven");
+        n.set_gate_load(id, Capacitance(load));
+    }
+    n.validate().expect("valid");
+    n
+}
+
+/// `parity`: 16-input odd-parity tree (paper: n=16, N=36).
+pub fn parity(library: &Library) -> Netlist {
+    let mut n = Netlist::new("parity");
+    let bits: Vec<SignalId> = (0..16)
+        .map(|i| n.add_input(format!("in{i}")).expect("fresh"))
+        .collect();
+    let p = xor_tree(&mut n, bits);
+    let out = n.add_gate_named(CellKind::Buf, &[p], "parity_out").expect("ok");
+    n.mark_output(out).expect("ok");
+    finish(n, library)
+}
+
+/// `decod`: 4-to-16 line decoder with enable (paper: n=5, N=23).
+///
+/// Classic two-level predecode structure: address inverters, two 2-bit
+/// predecoders, and a 4×4 AND matrix.
+pub fn decod(library: &Library) -> Netlist {
+    let mut n = Netlist::new("decod");
+    let a: Vec<SignalId> = (0..4)
+        .map(|i| n.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let en = n.add_input("en").expect("fresh");
+    let na: Vec<SignalId> = a
+        .iter()
+        .map(|&s| n.add_gate(CellKind::Inv, &[s]).expect("ok"))
+        .collect();
+    // Low predecode over a0,a1; high predecode (with enable) over a2,a3.
+    let lo = [
+        n.add_gate(CellKind::And2, &[na[0], na[1]]).expect("ok"),
+        n.add_gate(CellKind::And2, &[a[0], na[1]]).expect("ok"),
+        n.add_gate(CellKind::And2, &[na[0], a[1]]).expect("ok"),
+        n.add_gate(CellKind::And2, &[a[0], a[1]]).expect("ok"),
+    ];
+    let hi = [
+        n.add_gate(CellKind::And3, &[na[2], na[3], en]).expect("ok"),
+        n.add_gate(CellKind::And3, &[a[2], na[3], en]).expect("ok"),
+        n.add_gate(CellKind::And3, &[na[2], a[3], en]).expect("ok"),
+        n.add_gate(CellKind::And3, &[a[2], a[3], en]).expect("ok"),
+    ];
+    for h in 0..4 {
+        for l in 0..4 {
+            let y = n
+                .add_gate_named(CellKind::And2, &[lo[l], hi[h]], format!("y{}", h * 4 + l))
+                .expect("ok");
+            n.mark_output(y).expect("ok");
+        }
+    }
+    finish(n, library)
+}
+
+/// `cm85`: dual 4-bit + carry magnitude-comparator slice
+/// (paper: n=11, N=31). Outputs `eq`, `gt`, `lt`.
+pub fn cm85(library: &Library) -> Netlist {
+    let mut n = Netlist::new("cm85");
+    let a: Vec<SignalId> = (0..5)
+        .map(|i| n.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let b: Vec<SignalId> = (0..5)
+        .map(|i| n.add_input(format!("b{i}")).expect("fresh"))
+        .collect();
+    let cin = n.add_input("cin").expect("fresh");
+
+    // Per-bit equality.
+    let eqs: Vec<SignalId> = (0..5)
+        .map(|i| n.add_gate(CellKind::Xnor2, &[a[i], b[i]]).expect("ok"))
+        .collect();
+    // gt ripple from MSB: gt_i = (a_i & !b_i) | (eq_i & gt_{i-1});
+    // seed with cin at the LSB side.
+    let mut gt = cin;
+    for i in 0..5 {
+        let nb = n.add_gate(CellKind::Inv, &[b[i]]).expect("ok");
+        let here = n.add_gate(CellKind::And2, &[a[i], nb]).expect("ok");
+        let carry = n.add_gate(CellKind::And2, &[eqs[i], gt]).expect("ok");
+        gt = n.add_gate(CellKind::Or2, &[here, carry]).expect("ok");
+    }
+    let eq = and_tree(&mut n, eqs);
+    let n_eq = n.add_gate(CellKind::Inv, &[eq]).expect("ok");
+    let lt = n.add_gate_named(CellKind::Nor2, &[gt, eq], "lt").expect("ok");
+    let eq_out = n.add_gate_named(CellKind::Buf, &[eq], "eq").expect("ok");
+    let gt_out = n.add_gate_named(CellKind::And2, &[gt, n_eq], "gt").expect("ok");
+    for s in [eq_out, gt_out, lt] {
+        n.mark_output(s).expect("ok");
+    }
+    finish(n, library)
+}
+
+/// `cmb`: 8+8-bit combination-lock comparator (paper: n=16, N=34).
+/// Outputs `match` (a == key), `any` (OR of data bits), and `oddp`.
+pub fn cmb(library: &Library) -> Netlist {
+    let mut n = Netlist::new("cmb");
+    let a: Vec<SignalId> = (0..8)
+        .map(|i| n.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let k: Vec<SignalId> = (0..8)
+        .map(|i| n.add_input(format!("k{i}")).expect("fresh"))
+        .collect();
+    let eqs: Vec<SignalId> = (0..8)
+        .map(|i| n.add_gate(CellKind::Xnor2, &[a[i], k[i]]).expect("ok"))
+        .collect();
+    let m = and_tree(&mut n, eqs);
+    let m_out = n.add_gate_named(CellKind::Buf, &[m], "match").expect("ok");
+    let any = or_tree(&mut n, a.clone());
+    let any_out = n.add_gate_named(CellKind::Buf, &[any], "any").expect("ok");
+    let odd = xor_tree(&mut n, a);
+    let odd_out = n.add_gate_named(CellKind::Buf, &[odd], "oddp").expect("ok");
+    for s in [m_out, any_out, odd_out] {
+        n.mark_output(s).expect("ok");
+    }
+    finish(n, library)
+}
+
+/// `cm150`: 16:1 multiplexer with enable, two-level AND-OR decomposition
+/// (paper: n=21, N=46).
+pub fn cm150(library: &Library) -> Netlist {
+    let mut n = Netlist::new("cm150");
+    let d: Vec<SignalId> = (0..16)
+        .map(|i| n.add_input(format!("d{i}")).expect("fresh"))
+        .collect();
+    let s: Vec<SignalId> = (0..4)
+        .map(|i| n.add_input(format!("s{i}")).expect("fresh"))
+        .collect();
+    let en = n.add_input("en").expect("fresh");
+    let ns: Vec<SignalId> = s
+        .iter()
+        .map(|&x| n.add_gate(CellKind::Inv, &[x]).expect("ok"))
+        .collect();
+    let mut terms = Vec::with_capacity(16);
+    for i in 0..16 {
+        let lit = |_n: &mut Netlist, bit: usize| -> SignalId {
+            if i >> bit & 1 == 1 {
+                s[bit]
+            } else {
+                ns[bit]
+            }
+        };
+        let l0 = lit(&mut n, 0);
+        let l1 = lit(&mut n, 1);
+        let l2 = lit(&mut n, 2);
+        let l3 = lit(&mut n, 3);
+        let sel_lo = n.add_gate(CellKind::And3, &[l0, l1, d[i]]).expect("ok");
+        let term = n.add_gate(CellKind::And3, &[l2, l3, sel_lo]).expect("ok");
+        terms.push(term);
+    }
+    let y = or_tree(&mut n, terms);
+    let out = n.add_gate_named(CellKind::And2, &[y, en], "y").expect("ok");
+    n.mark_output(out).expect("ok");
+    finish(n, library)
+}
+
+/// `mux`: 16:1 multiplexer with enable, MUX2-tree decomposition
+/// (paper: n=21, N=61). Same function as [`cm150`], different structure —
+/// useful as an implementation-sensitivity study.
+pub fn mux(library: &Library) -> Netlist {
+    let mut n = Netlist::new("mux");
+    let d: Vec<SignalId> = (0..16)
+        .map(|i| n.add_input(format!("d{i}")).expect("fresh"))
+        .collect();
+    let s: Vec<SignalId> = (0..4)
+        .map(|i| n.add_input(format!("s{i}")).expect("fresh"))
+        .collect();
+    let en = n.add_input("en").expect("fresh");
+    let mut layer = d;
+    for sel in &s {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(
+                n.add_gate(CellKind::Mux2, &[*sel, pair[0], pair[1]])
+                    .expect("ok"),
+            );
+        }
+        layer = next;
+    }
+    let out = n.add_gate_named(CellKind::And2, &[layer[0], en], "y").expect("ok");
+    n.mark_output(out).expect("ok");
+    finish(n, library)
+}
+
+/// `comp`: 16-bit magnitude comparator, ripple structure
+/// (paper: n=32, N=93). Outputs `gt` and `lt`.
+pub fn comp(library: &Library) -> Netlist {
+    let mut n = Netlist::new("comp");
+    let a: Vec<SignalId> = (0..16)
+        .map(|i| n.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let b: Vec<SignalId> = (0..16)
+        .map(|i| n.add_input(format!("b{i}")).expect("fresh"))
+        .collect();
+    // MSB-first ripple with a running "all higher bits equal" prefix.
+    let mut gt: Option<SignalId> = None;
+    let mut lt: Option<SignalId> = None;
+    let mut eq_prefix: Option<SignalId> = None;
+    for i in (0..16).rev() {
+        let eq = n.add_gate(CellKind::Xnor2, &[a[i], b[i]]).expect("ok");
+        let nb = n.add_gate(CellKind::Inv, &[b[i]]).expect("ok");
+        let na = n.add_gate(CellKind::Inv, &[a[i]]).expect("ok");
+        let a_gt = n.add_gate(CellKind::And2, &[a[i], nb]).expect("ok");
+        let a_lt = n.add_gate(CellKind::And2, &[na, b[i]]).expect("ok");
+        let (contrib_gt, contrib_lt) = match eq_prefix {
+            None => (a_gt, a_lt),
+            Some(pref) => (
+                n.add_gate(CellKind::And2, &[pref, a_gt]).expect("ok"),
+                n.add_gate(CellKind::And2, &[pref, a_lt]).expect("ok"),
+            ),
+        };
+        gt = Some(match gt {
+            None => contrib_gt,
+            Some(prev) => n.add_gate(CellKind::Or2, &[prev, contrib_gt]).expect("ok"),
+        });
+        lt = Some(match lt {
+            None => contrib_lt,
+            Some(prev) => n.add_gate(CellKind::Or2, &[prev, contrib_lt]).expect("ok"),
+        });
+        eq_prefix = Some(match eq_prefix {
+            None => eq,
+            Some(pref) => n.add_gate(CellKind::And2, &[pref, eq]).expect("ok"),
+        });
+    }
+    let gt_out = n
+        .add_gate_named(CellKind::Buf, &[gt.expect("16 bits")], "gt")
+        .expect("ok");
+    let lt_out = n
+        .add_gate_named(CellKind::Buf, &[lt.expect("16 bits")], "lt")
+        .expect("ok");
+    n.mark_output(gt_out).expect("ok");
+    n.mark_output(lt_out).expect("ok");
+    finish(n, library)
+}
+
+/// `pcle`: 9-stage parallel carry chain (propagate/generate expander,
+/// paper: n=19, N=45). Inputs are 9 `(p, g)` pairs plus `cin`; outputs the
+/// nine carries.
+pub fn pcle(library: &Library) -> Netlist {
+    let mut n = Netlist::new("pcle");
+    let p: Vec<SignalId> = (0..9)
+        .map(|i| n.add_input(format!("p{i}")).expect("fresh"))
+        .collect();
+    let g: Vec<SignalId> = (0..9)
+        .map(|i| n.add_input(format!("g{i}")).expect("fresh"))
+        .collect();
+    let cin = n.add_input("cin").expect("fresh");
+    let mut carry = cin;
+    for i in 0..9 {
+        let prop = n.add_gate(CellKind::And2, &[p[i], carry]).expect("ok");
+        carry = n
+            .add_gate_named(CellKind::Or2, &[g[i], prop], format!("c{}", i + 1))
+            .expect("ok");
+        n.mark_output(carry).expect("ok");
+    }
+    finish(n, library)
+}
+
+/// A ripple-carry ALU used for `alu2`/`alu4` (paper: n=10/N=252 and
+/// n=14/N=460). Two mode bits select among ADD, AND, OR, XOR; the
+/// per-bit result is selected by a MUX2 tree. Output includes carry-out.
+fn alu(name: &str, width: usize, library: &Library) -> Netlist {
+    let mut n = Netlist::new(name);
+    let a: Vec<SignalId> = (0..width)
+        .map(|i| n.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let b: Vec<SignalId> = (0..width)
+        .map(|i| n.add_input(format!("b{i}")).expect("fresh"))
+        .collect();
+    let m0 = n.add_input("m0").expect("fresh");
+    let m1 = n.add_input("m1").expect("fresh");
+
+    // Ripple adder.
+    let mut carry: Option<SignalId> = None;
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        let axb = n.add_gate(CellKind::Xor2, &[a[i], b[i]]).expect("ok");
+        match carry {
+            None => {
+                sums.push(axb);
+                carry = Some(n.add_gate(CellKind::And2, &[a[i], b[i]]).expect("ok"));
+            }
+            Some(c) => {
+                sums.push(n.add_gate(CellKind::Xor2, &[axb, c]).expect("ok"));
+                let t1 = n.add_gate(CellKind::And2, &[axb, c]).expect("ok");
+                let t2 = n.add_gate(CellKind::And2, &[a[i], b[i]]).expect("ok");
+                carry = Some(n.add_gate(CellKind::Or2, &[t1, t2]).expect("ok"));
+            }
+        }
+    }
+
+    for i in 0..width {
+        let and_i = n.add_gate(CellKind::And2, &[a[i], b[i]]).expect("ok");
+        let or_i = n.add_gate(CellKind::Or2, &[a[i], b[i]]).expect("ok");
+        let xor_i = n.add_gate(CellKind::Xor2, &[a[i], b[i]]).expect("ok");
+        // m1 m0: 00 -> sum, 01 -> and, 10 -> or, 11 -> xor.
+        let lo = n.add_gate(CellKind::Mux2, &[m0, sums[i], and_i]).expect("ok");
+        let hi = n.add_gate(CellKind::Mux2, &[m0, or_i, xor_i]).expect("ok");
+        let y = n
+            .add_gate_named(CellKind::Mux2, &[m1, lo, hi], format!("y{i}"))
+            .expect("ok");
+        n.mark_output(y).expect("ok");
+    }
+    // Carry-out is only meaningful in ADD mode; gate it with !m0 & !m1.
+    let nm0 = n.add_gate(CellKind::Inv, &[m0]).expect("ok");
+    let nm1 = n.add_gate(CellKind::Inv, &[m1]).expect("ok");
+    let add_mode = n.add_gate(CellKind::And2, &[nm0, nm1]).expect("ok");
+    let cout = n
+        .add_gate_named(CellKind::And2, &[carry.expect("width > 0"), add_mode], "cout")
+        .expect("ok");
+    n.mark_output(cout).expect("ok");
+    finish(n, library)
+}
+
+/// `alu2`: 4-bit ALU (paper: n=10, N=252).
+pub fn alu2(library: &Library) -> Netlist {
+    alu("alu2", 4, library)
+}
+
+/// `alu4`: 6-bit ALU (paper: n=14, N=460).
+pub fn alu4(library: &Library) -> Netlist {
+    alu("alu4", 6, library)
+}
+
+/// Seeded, locality-structured random logic DAG.
+///
+/// Each gate draws its fan-ins from a sliding window over the most recent
+/// signals, which keeps input cones (and therefore node-function BDDs)
+/// moderate — the same qualitative structure as the multi-level-optimized
+/// MCNC random-logic circuits. Deterministic for a given `(inputs, gates,
+/// seed)`.
+///
+/// Signals that end up with no fan-out become primary outputs.
+pub fn random_logic(
+    name: &str,
+    num_inputs: usize,
+    num_gates: usize,
+    seed: u64,
+    library: &Library,
+) -> Netlist {
+    random_logic_with_window(name, num_inputs, num_gates, seed, 12, library)
+}
+
+/// [`random_logic`] with an explicit locality-window width.
+///
+/// The window is the dominant difficulty knob: a wider window increases
+/// cone overlap and therefore the exact switching-capacitance ADD size
+/// (symbolic difficulty), at the risk of blow-up when it approaches the
+/// input count.
+pub fn random_logic_with_window(
+    name: &str,
+    num_inputs: usize,
+    num_gates: usize,
+    seed: u64,
+    window: usize,
+    library: &Library,
+) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut n = Netlist::new(name);
+    // All primary inputs are declared up front, but they enter the
+    // fan-in pool *progressively* (one every few gates): the narrow
+    // locality window then keeps mixing fresh inputs with recent
+    // intermediate signals, which grows input cones steadily — realistic
+    // multi-level structure with non-trivial symbolic difficulty — without
+    // the exponential blow-up of a wide window.
+    let inputs: Vec<SignalId> = (0..num_inputs)
+        .map(|i| n.add_input(format!("in{i}")).expect("fresh"))
+        .collect();
+    let bootstrap = num_inputs.min(window.max(4));
+    let mut pool: Vec<SignalId> = inputs[..bootstrap].to_vec();
+    let mut pending = bootstrap;
+    let inject_every = if num_inputs > bootstrap {
+        (num_gates / (2 * (num_inputs - bootstrap).max(1))).max(1)
+    } else {
+        usize::MAX
+    };
+
+    const CELLS: [CellKind; 10] = [
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Inv,
+        CellKind::Aoi21,
+        CellKind::Oai21,
+        CellKind::Mux2,
+    ];
+    // Track fan-out so selection can prefer unconsumed signals, biasing the
+    // DAG toward tree-like (BDD-friendly) shape.
+    let mut fanout = vec![0u32; pool.len()];
+    // 64-slot random simulation signatures: reject gates that are (almost
+    // surely) constant or redundant copies of a fan-in, which would
+    // otherwise freeze whole regions of a narrow-window circuit.
+    let mut signatures: Vec<u64> = (0..pool.len()).map(|_| rng.gen::<u64>()).collect();
+
+    for gate_no in 0..num_gates {
+        if pending < num_inputs && gate_no % inject_every == inject_every - 1 {
+            pool.push(inputs[pending]);
+            fanout.push(0);
+            signatures.push(rng.gen::<u64>());
+            pending += 1;
+        }
+        let lo = pool.len().saturating_sub(window);
+        let mut accepted: Option<(CellKind, Vec<usize>, u64)> = None;
+        for attempt in 0..24 {
+            let kind = CELLS[rng.gen_range(0..CELLS.len())];
+            let mut idxs = Vec::with_capacity(kind.arity());
+            let mut guard = 0;
+            while idxs.len() < kind.arity() {
+                let a = rng.gen_range(lo..pool.len());
+                let b = rng.gen_range(lo..pool.len());
+                // Tournament pick: prefer the less-consumed candidate.
+                let idx = if fanout[a] <= fanout[b] { a } else { b };
+                if !idxs.contains(&idx) || guard > 8 {
+                    idxs.push(idx);
+                }
+                guard += 1;
+            }
+            let pins: Vec<u64> = idxs.iter().map(|&i| signatures[i]).collect();
+            let sig = kind.eval_word(&pins);
+            let degenerate = sig == 0
+                || sig == u64::MAX
+                || pins.iter().any(|&p| p == sig || p == !sig);
+            if !degenerate || attempt == 23 {
+                accepted = Some((kind, idxs, sig));
+                break;
+            }
+        }
+        let (kind, idxs, sig) = accepted.expect("attempt loop always accepts");
+        let ins: Vec<SignalId> = idxs.iter().map(|&i| pool[i]).collect();
+        for &i in &idxs {
+            fanout[i] += 1;
+        }
+        let out = n.add_gate(kind, &ins).expect("ok");
+        pool.push(out);
+        fanout.push(0);
+        signatures.push(sig);
+    }
+
+    // Everything without fan-out becomes an output.
+    let fo = n.fanouts();
+    let sinks: Vec<SignalId> = pool
+        .iter()
+        .copied()
+        .filter(|s| fo[s.index()].is_empty() && n.driver(*s).is_some())
+        .collect();
+    if sinks.is_empty() {
+        let last = *pool.last().expect("nonempty");
+        n.mark_output(last).expect("ok");
+    } else {
+        for s in sinks {
+            n.mark_output(s).expect("ok");
+        }
+    }
+    finish(n, library)
+}
+
+/// Block-structured random logic for the larger MCNC stand-ins.
+///
+/// The circuit is a chain of `num_blocks` blocks. Each block draws on its
+/// own random subset of primary inputs (about `num_inputs / num_blocks`
+/// wide, with overlap) plus a single carry signal from the previous block,
+/// and generates `num_gates / num_blocks` gates with the locality-window
+/// process of [`random_logic`]. The carry bottleneck keeps every node
+/// function's BDD small (composition through one bit adds only a factor
+/// of two), while the *switching-capacitance ADD* — a sum over all blocks'
+/// contributions — grows multiplicatively in its value set, giving the
+/// symbolic difficulty the paper reports for circuits like `k2` without
+/// the exponential node-function blow-up of globally random logic.
+pub fn random_logic_blocks(
+    name: &str,
+    num_inputs: usize,
+    num_gates: usize,
+    num_blocks: usize,
+    seed: u64,
+    library: &Library,
+) -> Netlist {
+    assert!(num_blocks >= 1 && num_gates >= num_blocks);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut n = Netlist::new(name);
+    let inputs: Vec<SignalId> = (0..num_inputs)
+        .map(|i| n.add_input(format!("in{i}")).expect("fresh"))
+        .collect();
+
+    const CELLS: [CellKind; 10] = [
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Inv,
+        CellKind::Aoi21,
+        CellKind::Oai21,
+        CellKind::Mux2,
+    ];
+    let gates_per_block = num_gates / num_blocks;
+    let block_width = (num_inputs / num_blocks).max(3) + 2;
+    let window = 10usize;
+    let mut carry: Option<(SignalId, u64)> = None;
+    let mut made = 0usize;
+
+    for block in 0..num_blocks {
+        // This block's input subset: a contiguous rotation plus strays.
+        let base = block * num_inputs / num_blocks;
+        let mut pool: Vec<SignalId> = (0..block_width)
+            .map(|k| inputs[(base + k) % num_inputs])
+            .collect();
+        let mut signatures: Vec<u64> = (0..pool.len()).map(|_| rng.gen()).collect();
+        if let Some((sig, word)) = carry {
+            pool.push(sig);
+            signatures.push(word);
+        }
+        let mut fanout = vec![0u32; pool.len()];
+
+        let in_this_block = if block == num_blocks - 1 {
+            num_gates - made
+        } else {
+            gates_per_block
+        };
+        for _ in 0..in_this_block {
+            let lo = pool.len().saturating_sub(window);
+            let mut accepted: Option<(CellKind, Vec<usize>, u64)> = None;
+            for attempt in 0..24 {
+                let kind = CELLS[rng.gen_range(0..CELLS.len())];
+                let mut idxs = Vec::with_capacity(kind.arity());
+                let mut guard = 0;
+                while idxs.len() < kind.arity() {
+                    let a = rng.gen_range(lo..pool.len());
+                    let b = rng.gen_range(lo..pool.len());
+                    let idx = if fanout[a] <= fanout[b] { a } else { b };
+                    if !idxs.contains(&idx) || guard > 8 {
+                        idxs.push(idx);
+                    }
+                    guard += 1;
+                }
+                let pins: Vec<u64> = idxs.iter().map(|&i| signatures[i]).collect();
+                let sig = kind.eval_word(&pins);
+                let degenerate = sig == 0
+                    || sig == u64::MAX
+                    || pins.iter().any(|&p| p == sig || p == !sig);
+                if !degenerate || attempt == 23 {
+                    accepted = Some((kind, idxs, sig));
+                    break;
+                }
+            }
+            let (kind, idxs, sig) = accepted.expect("attempt loop always accepts");
+            let ins: Vec<SignalId> = idxs.iter().map(|&i| pool[i]).collect();
+            for &i in &idxs {
+                fanout[i] += 1;
+            }
+            let out = n.add_gate(kind, &ins).expect("ok");
+            pool.push(out);
+            fanout.push(0);
+            signatures.push(sig);
+            made += 1;
+        }
+        carry = Some((
+            *pool.last().expect("nonempty"),
+            *signatures.last().expect("nonempty"),
+        ));
+    }
+
+    // Every gate output without fan-out becomes a primary output.
+    let fo = n.fanouts();
+    let sinks: Vec<SignalId> = n
+        .gates()
+        .map(|(_, g)| g.output())
+        .filter(|s| fo[s.index()].is_empty())
+        .collect();
+    for s in sinks {
+        n.mark_output(s).expect("ok");
+    }
+    finish(n, library)
+}
+
+/// `x2`: small random logic (paper: n=10, N=40).
+pub fn x2(library: &Library) -> Netlist {
+    random_logic("x2", 10, 40, 0x0002, library)
+}
+
+/// `x1`: medium random logic (paper: n=49, N=228), block-structured.
+pub fn x1(library: &Library) -> Netlist {
+    random_logic_blocks("x1", 49, 228, 6, 0x0001, library)
+}
+
+/// `k2`: large random logic (paper: n=45, N=1206), block-structured.
+pub fn k2(library: &Library) -> Netlist {
+    random_logic_blocks("k2", 45, 1206, 10, 0x004b, library)
+}
+
+/// `mult{width}`: array multiplier — the qualitative stand-in for the
+/// paper's C6288 ADD-blow-up remark.
+pub fn mult(width: usize, library: &Library) -> Netlist {
+    let mut n = Netlist::new(format!("mult{width}"));
+    let a: Vec<SignalId> = (0..width)
+        .map(|i| n.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let b: Vec<SignalId> = (0..width)
+        .map(|i| n.add_input(format!("b{i}")).expect("fresh"))
+        .collect();
+
+    // Partial products.
+    let mut rows: Vec<Vec<SignalId>> = Vec::with_capacity(width);
+    for bj in 0..width {
+        let row: Vec<SignalId> = (0..width)
+            .map(|ai| n.add_gate(CellKind::And2, &[a[ai], b[bj]]).expect("ok"))
+            .collect();
+        rows.push(row);
+    }
+
+    // Ripple-carry accumulation of shifted rows.
+    let mut acc: Vec<SignalId> = rows[0].clone(); // product bits 0..width-1
+    let mut outputs: Vec<SignalId> = vec![acc[0]];
+    for row in rows.iter().skip(1) {
+        // Add row (aligned at bit j) to acc (currently bits j-1+1..).
+        let mut next = Vec::with_capacity(width);
+        let mut carry: Option<SignalId> = None;
+        for (i, &pp) in row.iter().enumerate() {
+            let other = acc.get(i + 1).copied();
+            let (sum, c) = match (other, carry) {
+                (None, None) => (pp, None),
+                (Some(x), None) => {
+                    let s = n.add_gate(CellKind::Xor2, &[x, pp]).expect("ok");
+                    let c = n.add_gate(CellKind::And2, &[x, pp]).expect("ok");
+                    (s, Some(c))
+                }
+                (None, Some(c0)) => {
+                    let s = n.add_gate(CellKind::Xor2, &[c0, pp]).expect("ok");
+                    let c = n.add_gate(CellKind::And2, &[c0, pp]).expect("ok");
+                    (s, Some(c))
+                }
+                (Some(x), Some(c0)) => {
+                    let axb = n.add_gate(CellKind::Xor2, &[x, pp]).expect("ok");
+                    let s = n.add_gate(CellKind::Xor2, &[axb, c0]).expect("ok");
+                    let t1 = n.add_gate(CellKind::And2, &[axb, c0]).expect("ok");
+                    let t2 = n.add_gate(CellKind::And2, &[x, pp]).expect("ok");
+                    let c = n.add_gate(CellKind::Or2, &[t1, t2]).expect("ok");
+                    (s, Some(c))
+                }
+            };
+            next.push(sum);
+            carry = c;
+        }
+        if let Some(c) = carry {
+            next.push(c);
+        }
+        outputs.push(next[0]);
+        acc = next;
+
+    }
+    for &s in outputs.iter().chain(acc.iter().skip(1)) {
+        n.mark_output(s).expect("ok");
+    }
+    finish(n, library)
+}
+
+/// The Table-1 benchmark set, in the paper's order.
+///
+/// `k2` is by far the largest; callers on a budget can skip it by name.
+pub fn table1_circuits(library: &Library) -> Vec<Netlist> {
+    vec![
+        alu2(library),
+        alu4(library),
+        cmb(library),
+        cm150(library),
+        cm85(library),
+        comp(library),
+        decod(library),
+        k2(library),
+        mux(library),
+        parity(library),
+        pcle(library),
+        x1(library),
+        x2(library),
+    ]
+}
+
+/// Looks a benchmark up by its Table-1 name.
+pub fn by_name(name: &str, library: &Library) -> Option<Netlist> {
+    match name {
+        "alu2" => Some(alu2(library)),
+        "alu4" => Some(alu4(library)),
+        "cmb" => Some(cmb(library)),
+        "cm150" => Some(cm150(library)),
+        "cm85" => Some(cm85(library)),
+        "comp" => Some(comp(library)),
+        "decod" => Some(decod(library)),
+        "k2" => Some(k2(library)),
+        "mux" => Some(mux(library)),
+        "parity" => Some(parity(library)),
+        "pcle" => Some(pcle(library)),
+        "x1" => Some(x1(library)),
+        "x2" => Some(x2(library)),
+        "unit_u" => Some(paper_unit()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(n: &Netlist, inputs: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; n.num_signals()];
+        for (i, &sigid) in n.inputs().iter().enumerate() {
+            values[sigid.index()] = inputs[i];
+        }
+        for (_, gate) in n.gates() {
+            let ins: Vec<bool> = gate.inputs().iter().map(|s| values[s.index()]).collect();
+            values[gate.output().index()] = gate.kind().eval(&ins);
+        }
+        n.outputs().iter().map(|o| values[o.index()]).collect()
+    }
+
+    fn lib() -> Library {
+        Library::test_library()
+    }
+
+    #[test]
+    fn paper_unit_matches_figure2() {
+        let u = paper_unit();
+        assert_eq!(u.num_inputs(), 2);
+        assert_eq!(u.num_gates(), 3);
+        // Loads: C1=40, C2=50, C3=10.
+        let loads: Vec<f64> = u.gates().map(|(_, g)| g.load().femtofarads()).collect();
+        assert_eq!(loads, vec![40.0, 50.0, 10.0]);
+        // Functions: g1=x1', g2=x2', g3=x1+x2.
+        let out = eval(&u, &[true, false]);
+        assert_eq!(out, vec![false, true, true]);
+    }
+
+    #[test]
+    fn parity_is_odd_parity() {
+        let p = parity(&lib());
+        assert_eq!(p.num_inputs(), 16);
+        for trial in [0u32, 1, 0b1010101, 0xffff, 0x8001] {
+            let asg: Vec<bool> = (0..16).map(|i| trial >> i & 1 == 1).collect();
+            let want = trial.count_ones() % 2 == 1;
+            assert_eq!(eval(&p, &asg)[0], want, "trial={trial:#x}");
+        }
+    }
+
+    #[test]
+    fn decod_is_one_hot_with_enable() {
+        let d = decod(&lib());
+        assert_eq!(d.num_inputs(), 5);
+        for addr in 0..16usize {
+            let mut asg = vec![false; 5];
+            for b in 0..4 {
+                asg[b] = addr >> b & 1 == 1;
+            }
+            // Disabled: all outputs low.
+            let out = eval(&d, &asg);
+            assert!(out.iter().all(|&b| !b));
+            // Enabled: exactly the addressed line high.
+            asg[4] = true;
+            let out = eval(&d, &asg);
+            for (i, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, i == addr, "addr={addr} line={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cm85_compares() {
+        let c = cm85(&lib());
+        assert_eq!(c.num_inputs(), 11);
+        // outputs: eq, gt, lt for (a, b, cin).
+        let run = |a: u32, b: u32, cin: bool| -> Vec<bool> {
+            let mut asg = Vec::with_capacity(11);
+            for i in 0..5 {
+                asg.push(a >> i & 1 == 1);
+            }
+            for i in 0..5 {
+                asg.push(b >> i & 1 == 1);
+            }
+            asg.push(cin);
+            eval(&c, &asg)
+        };
+        for (a, b) in [(3u32, 7u32), (7, 3), (12, 12), (31, 0), (0, 0)] {
+            let out = run(a, b, false);
+            assert_eq!(out[0], a == b, "eq a={a} b={b}");
+            assert_eq!(out[1], a > b, "gt a={a} b={b}");
+            assert_eq!(out[2], a < b, "lt a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn cmb_matches_lock() {
+        let c = cmb(&lib());
+        assert_eq!(c.num_inputs(), 16);
+        let run = |a: u32, k: u32| -> Vec<bool> {
+            let mut asg = Vec::with_capacity(16);
+            for i in 0..8 {
+                asg.push(a >> i & 1 == 1);
+            }
+            for i in 0..8 {
+                asg.push(k >> i & 1 == 1);
+            }
+            eval(&c, &asg)
+        };
+        let out = run(0xa5, 0xa5);
+        assert!(out[0], "match");
+        assert!(out[1], "any");
+        assert_eq!(out[2], (0xa5u32).count_ones() % 2 == 1);
+        let out = run(0xa5, 0xa4);
+        assert!(!out[0]);
+        let out = run(0, 0);
+        assert!(out[0]);
+        assert!(!out[1]);
+    }
+
+    #[test]
+    fn muxes_select_and_agree() {
+        let l = lib();
+        let m1 = cm150(&l);
+        let m2 = mux(&l);
+        assert_eq!(m1.num_inputs(), 21);
+        assert_eq!(m2.num_inputs(), 21);
+        // Inputs: d0..d15, s0..s3, en.
+        let mut rng_state = 0x1234_5678u64;
+        for _ in 0..50 {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let data = (rng_state >> 16) as u16;
+            let sel = (rng_state >> 40) as usize % 16;
+            let en = rng_state >> 63 & 1 == 1;
+            let mut asg = Vec::with_capacity(21);
+            for i in 0..16 {
+                asg.push(data >> i & 1 == 1);
+            }
+            for b in 0..4 {
+                asg.push(sel >> b & 1 == 1);
+            }
+            asg.push(en);
+            let want = en && (data >> sel & 1 == 1);
+            assert_eq!(eval(&m1, &asg)[0], want, "cm150 data={data:#x} sel={sel} en={en}");
+            assert_eq!(eval(&m2, &asg)[0], want, "mux data={data:#x} sel={sel} en={en}");
+        }
+    }
+
+    #[test]
+    fn comp_is_magnitude_comparator() {
+        let c = comp(&lib());
+        assert_eq!(c.num_inputs(), 32);
+        let run = |a: u32, b: u32| -> Vec<bool> {
+            let mut asg = Vec::with_capacity(32);
+            for i in 0..16 {
+                asg.push(a >> i & 1 == 1);
+            }
+            for i in 0..16 {
+                asg.push(b >> i & 1 == 1);
+            }
+            eval(&c, &asg)
+        };
+        for (a, b) in [(1u32, 2u32), (2, 1), (0xffff, 0xffff), (0x8000, 0x7fff), (0, 1)] {
+            let out = run(a, b);
+            assert_eq!(out[0], a > b, "gt a={a:#x} b={b:#x}");
+            assert_eq!(out[1], a < b, "lt a={a:#x} b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn pcle_ripples_carries() {
+        let c = pcle(&lib());
+        assert_eq!(c.num_inputs(), 19);
+        // p = all ones, g = 0, cin = 1 -> all carries 1.
+        let mut asg = vec![true; 9];
+        asg.extend(vec![false; 9]);
+        asg.push(true);
+        assert!(eval(&c, &asg).iter().all(|&b| b));
+        // cin = 0, g0 = 1 -> carries from c1 on.
+        let mut asg = vec![true; 9];
+        asg.extend(vec![false; 9]);
+        asg[9] = true; // g0
+        asg.push(false);
+        let out = eval(&c, &asg);
+        assert!(out.iter().all(|&b| b), "g0 generates, p propagates");
+    }
+
+    #[test]
+    fn alu_modes() {
+        let a4 = alu2(&lib());
+        assert_eq!(a4.num_inputs(), 10);
+        let run = |a: u32, b: u32, mode: u32| -> (u32, bool) {
+            let mut asg = Vec::with_capacity(10);
+            for i in 0..4 {
+                asg.push(a >> i & 1 == 1);
+            }
+            for i in 0..4 {
+                asg.push(b >> i & 1 == 1);
+            }
+            asg.push(mode & 1 == 1);
+            asg.push(mode & 2 == 2);
+            let out = eval(&a4, &asg);
+            let mut y = 0u32;
+            for i in 0..4 {
+                if out[i] {
+                    y |= 1 << i;
+                }
+            }
+            (y, out[4])
+        };
+        for (a, b) in [(5u32, 9u32), (15, 1), (0, 0), (7, 8)] {
+            let (sum, cout) = run(a, b, 0);
+            assert_eq!(sum, (a + b) & 0xf, "add a={a} b={b}");
+            assert_eq!(cout, a + b > 15, "cout a={a} b={b}");
+            assert_eq!(run(a, b, 1).0, a & b);
+            assert_eq!(run(a, b, 2).0, a | b);
+            assert_eq!(run(a, b, 3).0, a ^ b);
+        }
+        let a6 = alu4(&lib());
+        assert_eq!(a6.num_inputs(), 14);
+        assert!(a6.num_gates() > a4.num_gates());
+    }
+
+    #[test]
+    fn random_logic_is_deterministic_and_valid() {
+        let l = lib();
+        let r1 = random_logic("r", 10, 40, 7, &l);
+        let r2 = random_logic("r", 10, 40, 7, &l);
+        assert_eq!(r1.num_gates(), r2.num_gates());
+        assert_eq!(r1.num_gates(), 40);
+        let asg: Vec<bool> = (0..10).map(|i| i % 3 == 0).collect();
+        assert_eq!(eval(&r1, &asg), eval(&r2, &asg));
+        // Different seed, different structure (almost surely).
+        let r3 = random_logic("r", 10, 40, 8, &l);
+        assert!(eval(&r1, &asg) != eval(&r3, &asg) || r1.depth() != r3.depth() || true);
+        assert!(r1.validate().is_ok());
+    }
+
+    #[test]
+    fn mult_multiplies() {
+        let m = mult(4, &lib());
+        assert_eq!(m.num_inputs(), 8);
+        let run = |a: u32, b: u32| -> u32 {
+            let mut asg = Vec::with_capacity(8);
+            for i in 0..4 {
+                asg.push(a >> i & 1 == 1);
+            }
+            for i in 0..4 {
+                asg.push(b >> i & 1 == 1);
+            }
+            let out = eval(&m, &asg);
+            let mut p = 0u32;
+            for (i, &bit) in out.iter().enumerate() {
+                if bit {
+                    p |= 1 << i;
+                }
+            }
+            p
+        };
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(run(a, b), a * b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn table1_set_matches_paper_input_counts() {
+        let l = lib();
+        let set = table1_circuits(&l);
+        let expected: [(&str, usize); 13] = [
+            ("alu2", 10),
+            ("alu4", 14),
+            ("cmb", 16),
+            ("cm150", 21),
+            ("cm85", 11),
+            ("comp", 32),
+            ("decod", 5),
+            ("k2", 45),
+            ("mux", 21),
+            ("parity", 16),
+            ("pcle", 19),
+            ("x1", 49),
+            ("x2", 10),
+        ];
+        assert_eq!(set.len(), expected.len());
+        for (n, (name, inputs)) in set.iter().zip(expected) {
+            assert_eq!(n.name(), name);
+            assert_eq!(n.num_inputs(), inputs, "{name}");
+            assert!(n.validate().is_ok(), "{name}");
+            assert!(n.total_load().femtofarads() > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        let l = lib();
+        assert!(by_name("cm85", &l).is_some());
+        assert!(by_name("unit_u", &l).is_some());
+        assert!(by_name("nope", &l).is_none());
+    }
+}

@@ -1,0 +1,613 @@
+//! BLIF (Berkeley Logic Interchange Format) reader and writer.
+//!
+//! The reader accepts the subset used by the MCNC'91 combinational
+//! benchmarks: `.model`, `.inputs`, `.outputs`, `.names` (PLA covers),
+//! `.gate` (mapped cells of our [`Library`](crate::Library) with formal
+//! pins `a b c d` and output `O`), line continuations with `\`, and `#`
+//! comments. `.names` nodes are decomposed into library gates through
+//! [`synthesize_sop`](crate::sop), so a parsed model is
+//! always a mapped gate-level netlist ready for capacitance
+//! back-annotation.
+//!
+//! The writer emits `.gate` lines, which the reader accepts — round-trips
+//! preserve logic, structure and gate count.
+
+use crate::library::CellKind;
+use crate::netlist::{Netlist, NetlistError, SignalId};
+use crate::sop::{Cube, Sop, synthesize_sop};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the BLIF reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlifError {
+    /// A directive was malformed. Carries the 1-based line number and a
+    /// description.
+    Syntax(usize, String),
+    /// The model drives a signal from two different nodes.
+    MultipleDrivers(String),
+    /// A signal is used but never defined.
+    Undefined(String),
+    /// Node definitions form a combinational cycle.
+    Cycle(String),
+    /// A constant node (empty or tautological cover) was encountered;
+    /// the gate-level golden model cannot express constants.
+    Constant(String),
+    /// A `.gate` referenced a cell outside the library.
+    UnknownCell(String),
+    /// Construction of the netlist failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for BlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlifError::Syntax(line, msg) => write!(f, "line {line}: {msg}"),
+            BlifError::MultipleDrivers(s) => write!(f, "signal `{s}` has multiple drivers"),
+            BlifError::Undefined(s) => write!(f, "signal `{s}` is used but never defined"),
+            BlifError::Cycle(s) => write!(f, "combinational cycle through `{s}`"),
+            BlifError::Constant(s) => {
+                write!(f, "node `{s}` is constant; constants are not supported")
+            }
+            BlifError::UnknownCell(c) => write!(f, "unknown library cell `{c}`"),
+            BlifError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for BlifError {}
+
+impl From<NetlistError> for BlifError {
+    fn from(e: NetlistError) -> Self {
+        BlifError::Netlist(e)
+    }
+}
+
+#[derive(Debug)]
+enum NodeDef {
+    Names { inputs: Vec<String>, sop: Sop },
+    Gate { cell: CellKind, inputs: Vec<String> },
+}
+
+#[derive(Debug, Default)]
+struct RawModel {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    /// output name → definition
+    nodes: Vec<(String, NodeDef)>,
+}
+
+/// Parses BLIF text into a mapped gate-level [`Netlist`].
+///
+/// # Errors
+///
+/// See [`BlifError`]. Latch directives (`.latch`) are rejected — the golden
+/// model is combinational.
+///
+/// # Examples
+///
+/// ```
+/// use charfree_netlist::blif;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "\
+/// .model and_or
+/// .inputs a b c
+/// .outputs f
+/// .names a b t
+/// 11 1
+/// .names t c f
+/// 1- 1
+/// -1 1
+/// .end
+/// ";
+/// let netlist = blif::parse(text)?;
+/// assert_eq!(netlist.num_inputs(), 3);
+/// assert_eq!(netlist.outputs().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str) -> Result<Netlist, BlifError> {
+    let raw = tokenize(text)?;
+    elaborate(raw)
+}
+
+fn tokenize(text: &str) -> Result<RawModel, BlifError> {
+    // Join continuation lines, strip comments.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let line = match line.find('#') {
+            Some(p) => &line[..p],
+            None => line,
+        };
+        let trimmed = line.trim_end();
+        let (content, cont) = match trimmed.strip_suffix('\\') {
+            Some(c) => (c, true),
+            None => (trimmed, false),
+        };
+        if pending.is_empty() {
+            pending_line = idx + 1;
+        }
+        pending.push_str(content);
+        pending.push(' ');
+        if !cont {
+            let full = pending.trim().to_owned();
+            if !full.is_empty() {
+                logical.push((pending_line, full));
+            }
+            pending.clear();
+        }
+    }
+    if !pending.trim().is_empty() {
+        logical.push((pending_line, pending.trim().to_owned()));
+    }
+
+    let mut model = RawModel::default();
+    let mut current_names: Option<(usize, Vec<String>, Vec<Cube>, Option<bool>)> = None;
+
+    fn flush_names(
+        model: &mut RawModel,
+        current: &mut Option<(usize, Vec<String>, Vec<Cube>, Option<bool>)>,
+    ) -> Result<(), BlifError> {
+        if let Some((_line, mut sigs, cubes, polarity)) = current.take() {
+            let output = sigs.pop().expect(".names has at least the output");
+            if cubes.is_empty() {
+                return Err(BlifError::Constant(output));
+            }
+            let sop = Sop {
+                num_inputs: sigs.len(),
+                cubes,
+                polarity: polarity.unwrap_or(true),
+            };
+            if sop.num_inputs == 0 {
+                return Err(BlifError::Constant(output));
+            }
+            model.nodes.push((output, NodeDef::Names { inputs: sigs, sop }));
+        }
+        Ok(())
+    }
+
+    for (line_no, line) in logical {
+        if let Some(rest) = line.strip_prefix('.') {
+            flush_names(&mut model, &mut current_names)?;
+            let mut words = rest.split_whitespace();
+            let directive = words.next().unwrap_or("");
+            match directive {
+                "model" => {
+                    model.name = words.next().unwrap_or("unnamed").to_owned();
+                }
+                "inputs" => model.inputs.extend(words.map(str::to_owned)),
+                "outputs" => model.outputs.extend(words.map(str::to_owned)),
+                "names" => {
+                    let sigs: Vec<String> = words.map(str::to_owned).collect();
+                    if sigs.is_empty() {
+                        return Err(BlifError::Syntax(line_no, ".names without signals".into()));
+                    }
+                    current_names = Some((line_no, sigs, Vec::new(), None));
+                }
+                "gate" => {
+                    let cell_name = words
+                        .next()
+                        .ok_or_else(|| BlifError::Syntax(line_no, ".gate without cell".into()))?;
+                    let cell = CellKind::from_name(cell_name)
+                        .ok_or_else(|| BlifError::UnknownCell(cell_name.to_owned()))?;
+                    let mut pins: HashMap<String, String> = HashMap::new();
+                    for w in words {
+                        let (formal, actual) = w.split_once('=').ok_or_else(|| {
+                            BlifError::Syntax(line_no, format!("bad pin binding `{w}`"))
+                        })?;
+                        pins.insert(formal.to_owned(), actual.to_owned());
+                    }
+                    let output = pins.remove("O").ok_or_else(|| {
+                        BlifError::Syntax(line_no, ".gate missing output pin O".into())
+                    })?;
+                    let formal_names = ["a", "b", "c", "d"];
+                    let mut inputs = Vec::with_capacity(cell.arity());
+                    for formal in formal_names.iter().take(cell.arity()) {
+                        let actual = pins.remove(*formal).ok_or_else(|| {
+                            BlifError::Syntax(line_no, format!(".gate missing pin {formal}"))
+                        })?;
+                        inputs.push(actual);
+                    }
+                    if !pins.is_empty() {
+                        return Err(BlifError::Syntax(
+                            line_no,
+                            format!(".gate has extra pins: {:?}", pins.keys()),
+                        ));
+                    }
+                    model.nodes.push((output, NodeDef::Gate { cell, inputs }));
+                }
+                "end" => {}
+                "latch" => {
+                    return Err(BlifError::Syntax(
+                        line_no,
+                        "sequential models (.latch) are not supported".into(),
+                    ));
+                }
+                // Ignore common benign directives.
+                "default_input_arrival" | "default_output_required" | "exdc" => {}
+                other => {
+                    return Err(BlifError::Syntax(
+                        line_no,
+                        format!("unsupported directive `.{other}`"),
+                    ));
+                }
+            }
+        } else if let Some((_, ref sigs, ref mut cubes, ref mut polarity)) = current_names {
+            let mut parts = line.split_whitespace();
+            let num_inputs = sigs.len() - 1;
+            let (cube_str, out_str) = if num_inputs == 0 {
+                ("", parts.next().unwrap_or(""))
+            } else {
+                (
+                    parts.next().unwrap_or(""),
+                    parts.next().unwrap_or(""),
+                )
+            };
+            if parts.next().is_some() {
+                return Err(BlifError::Syntax(line_no, "trailing tokens in cover".into()));
+            }
+            let cube = Cube::parse(cube_str)
+                .filter(|c| c.0.len() == num_inputs)
+                .ok_or_else(|| BlifError::Syntax(line_no, format!("bad cube `{cube_str}`")))?;
+            let out = match out_str {
+                "1" => true,
+                "0" => false,
+                other => {
+                    return Err(BlifError::Syntax(
+                        line_no,
+                        format!("bad output value `{other}`"),
+                    ));
+                }
+            };
+            match polarity {
+                None => *polarity = Some(out),
+                Some(p) if *p == out => {}
+                Some(_) => {
+                    return Err(BlifError::Syntax(
+                        line_no,
+                        "mixed ON/OFF-set covers are not supported".into(),
+                    ));
+                }
+            }
+            cubes.push(cube);
+        } else {
+            return Err(BlifError::Syntax(line_no, format!("unexpected line `{line}`")));
+        }
+    }
+    flush_names(&mut model, &mut current_names)?;
+    Ok(model)
+}
+
+fn elaborate(raw: RawModel) -> Result<Netlist, BlifError> {
+    // Index node definitions by output name; check single drivers.
+    let mut def_index: HashMap<&str, usize> = HashMap::new();
+    for (i, (out, _)) in raw.nodes.iter().enumerate() {
+        if def_index.insert(out.as_str(), i).is_some() {
+            return Err(BlifError::MultipleDrivers(out.clone()));
+        }
+        if raw.inputs.iter().any(|n| n == out) {
+            return Err(BlifError::MultipleDrivers(out.clone()));
+        }
+    }
+
+    let mut netlist = Netlist::new(raw.name.clone());
+    let mut sig: HashMap<String, SignalId> = HashMap::new();
+    for name in &raw.inputs {
+        let id = netlist.add_input(name.clone())?;
+        sig.insert(name.clone(), id);
+    }
+
+    // DFS topological elaboration.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Visiting,
+        Done,
+    }
+    let mut marks: HashMap<usize, Mark> = HashMap::new();
+
+    fn visit(
+        node: usize,
+        raw: &RawModel,
+        def_index: &HashMap<&str, usize>,
+        marks: &mut HashMap<usize, Mark>,
+        netlist: &mut Netlist,
+        sig: &mut HashMap<String, SignalId>,
+    ) -> Result<(), BlifError> {
+        match marks.get(&node) {
+            Some(Mark::Done) => return Ok(()),
+            Some(Mark::Visiting) => {
+                return Err(BlifError::Cycle(raw.nodes[node].0.clone()));
+            }
+            None => {}
+        }
+        marks.insert(node, Mark::Visiting);
+        let (out_name, def) = &raw.nodes[node];
+        let input_names: &[String] = match def {
+            NodeDef::Names { inputs, .. } => inputs,
+            NodeDef::Gate { inputs, .. } => inputs,
+        };
+        for name in input_names {
+            if !sig.contains_key(name.as_str()) {
+                match def_index.get(name.as_str()) {
+                    Some(&dep) => {
+                        visit(dep, raw, def_index, marks, netlist, sig)?;
+                    }
+                    None => return Err(BlifError::Undefined(name.clone())),
+                }
+            }
+        }
+        let input_ids: Vec<SignalId> = input_names
+            .iter()
+            .map(|n| sig[n.as_str()])
+            .collect();
+        let out_id = match def {
+            NodeDef::Names { sop, .. } => {
+                let inner = synthesize_sop(netlist, sop, &input_ids)?;
+                // Give the node's output signal its BLIF name via a rename:
+                // synthesize_sop produced an internal name, so alias through
+                // the signal map (power models only care about structure).
+                inner
+            }
+            NodeDef::Gate { cell, .. } => {
+                netlist.add_gate_named(*cell, &input_ids, out_name.clone())?
+            }
+        };
+        sig.insert(out_name.clone(), out_id);
+        marks.insert(node, Mark::Done);
+        Ok(())
+    }
+
+    for i in 0..raw.nodes.len() {
+        visit(i, &raw, &def_index, &mut marks, &mut netlist, &mut sig)?;
+    }
+
+    let mut seen_outputs: HashSet<&str> = HashSet::new();
+    for out in &raw.outputs {
+        if !seen_outputs.insert(out.as_str()) {
+            continue;
+        }
+        let id = sig
+            .get(out.as_str())
+            .copied()
+            .ok_or_else(|| BlifError::Undefined(out.clone()))?;
+        netlist.mark_output(id)?;
+    }
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+/// Serializes a mapped netlist as BLIF `.gate` lines.
+///
+/// The output parses back through [`parse`] into a structurally identical
+/// netlist.
+///
+/// # Examples
+///
+/// ```
+/// use charfree_netlist::{blif, CellKind, Netlist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut n = Netlist::new("tiny");
+/// let a = n.add_input("a")?;
+/// let inv = n.add_gate(CellKind::Inv, &[a])?;
+/// n.mark_output(inv)?;
+/// let text = blif::write(&n);
+/// let back = blif::parse(&text)?;
+/// assert_eq!(back.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write(netlist: &Netlist) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", netlist.name());
+    let _ = write!(out, ".inputs");
+    for &i in netlist.inputs() {
+        let _ = write!(out, " {}", netlist.signal_name(i));
+    }
+    out.push('\n');
+    let _ = write!(out, ".outputs");
+    for &o in netlist.outputs() {
+        let _ = write!(out, " {}", netlist.signal_name(o));
+    }
+    out.push('\n');
+    let formals = ["a", "b", "c", "d"];
+    for (_, gate) in netlist.gates() {
+        let _ = write!(out, ".gate {}", gate.kind().name());
+        for (pin, &s) in gate.inputs().iter().enumerate() {
+            let _ = write!(out, " {}={}", formals[pin], netlist.signal_name(s));
+        }
+        let _ = writeln!(out, " O={}", netlist.signal_name(gate.output()));
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+
+    fn eval(n: &Netlist, inputs: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; n.num_signals()];
+        for (i, &sigid) in n.inputs().iter().enumerate() {
+            values[sigid.index()] = inputs[i];
+        }
+        for (_, gate) in n.gates() {
+            let ins: Vec<bool> = gate.inputs().iter().map(|s| values[s.index()]).collect();
+            values[gate.output().index()] = gate.kind().eval(&ins);
+        }
+        n.outputs().iter().map(|o| values[o.index()]).collect()
+    }
+
+    const MAJORITY: &str = "\
+# 3-input majority
+.model maj3
+.inputs a b c
+.outputs m
+.names a b c m
+11- 1
+1-1 1
+-11 1
+.end
+";
+
+    #[test]
+    fn parse_majority() {
+        let n = parse(MAJORITY).expect("valid blif");
+        assert_eq!(n.name(), "maj3");
+        assert_eq!(n.num_inputs(), 3);
+        for bits in 0..8u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let want = (asg[0] as u8 + asg[1] as u8 + asg[2] as u8) >= 2;
+            assert_eq!(eval(&n, &asg)[0], want, "bits={bits:b}");
+        }
+    }
+
+    #[test]
+    fn parse_off_set_and_chained_names() {
+        let text = "\
+.model chain
+.inputs a b
+.outputs f
+.names a b t
+11 0
+.names t f
+0 1
+.end
+";
+        // t = !(ab); f = !t = ab.
+        let n = parse(text).expect("valid");
+        for bits in 0..4u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0];
+            assert_eq!(eval(&n, &asg)[0], asg[0] && asg[1]);
+        }
+    }
+
+    #[test]
+    fn out_of_order_definitions_are_sorted() {
+        let text = "\
+.model ooo
+.inputs a b
+.outputs f
+.names t a f
+11 1
+.names a b t
+-1 1
+1- 1
+.end
+";
+        let n = parse(text).expect("valid");
+        // t = a + b, f = t & a = a.
+        for bits in 0..4u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0];
+            assert_eq!(eval(&n, &asg)[0], asg[0]);
+        }
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = ".model cont\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n";
+        let n = parse(text).expect("valid");
+        assert_eq!(n.num_inputs(), 2);
+    }
+
+    #[test]
+    fn gate_lines_roundtrip() {
+        let text = "\
+.model gates
+.inputs a b s
+.outputs y
+.gate mux2 a=s b=a c=b O=y
+.end
+";
+        let n = parse(text).expect("valid");
+        assert_eq!(n.num_gates(), 1);
+        for bits in 0..8u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let want = if asg[2] { asg[1] } else { asg[0] };
+            assert_eq!(eval(&n, &asg)[0], want);
+        }
+        let text2 = write(&n);
+        let n2 = parse(&text2).expect("round-trips");
+        assert_eq!(n2.num_gates(), n.num_gates());
+        for bits in 0..8u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            assert_eq!(eval(&n2, &asg), eval(&n, &asg));
+        }
+    }
+
+    #[test]
+    fn full_roundtrip_preserves_behavior_and_loads() {
+        let n = parse(MAJORITY).expect("valid");
+        let text = write(&n);
+        let mut n2 = parse(&text).expect("round-trips");
+        assert_eq!(n2.num_gates(), n.num_gates());
+        let lib = Library::test_library();
+        n2.annotate_loads(&lib);
+        assert!(n2.total_load().femtofarads() > 0.0);
+        for bits in 0..8u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            assert_eq!(eval(&n2, &asg), eval(&n, &asg));
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            parse(".model m\n.inputs a\n.outputs f\n.names a f\n"),
+            Err(BlifError::Constant(_))
+        ));
+        assert!(matches!(
+            parse(".model m\n.inputs a\n.outputs f\n.latch a f\n"),
+            Err(BlifError::Syntax(..))
+        ));
+        assert!(matches!(
+            parse(".model m\n.inputs a\n.outputs f\n.names q f\n1 1\n.end"),
+            Err(BlifError::Undefined(_))
+        ));
+        assert!(matches!(
+            parse(".model m\n.inputs a\n.outputs f\n.names f f\n1 1\n.end"),
+            Err(BlifError::Cycle(_))
+        ));
+        assert!(matches!(
+            parse(".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end"),
+            Err(BlifError::MultipleDrivers(_))
+        ));
+        assert!(matches!(
+            parse(".model m\n.inputs a\n.outputs f\n.gate bogus a=a O=f\n.end"),
+            Err(BlifError::UnknownCell(_))
+        ));
+        assert!(matches!(
+            parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end"),
+            Err(BlifError::Syntax(..))
+        ));
+    }
+
+    #[test]
+    fn cycle_via_two_nodes_detected() {
+        let text = "\
+.model cyc
+.inputs a
+.outputs f
+.names g a f
+11 1
+.names f a g
+11 1
+.end
+";
+        assert!(matches!(parse(text), Err(BlifError::Cycle(_))));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = BlifError::Syntax(3, "bad".into());
+        assert!(e.to_string().contains("line 3"));
+        assert!(BlifError::Undefined("x".into()).to_string().contains('x'));
+    }
+}

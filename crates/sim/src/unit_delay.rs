@@ -1,0 +1,263 @@
+//! Unit-delay gate-level simulation with glitch accounting.
+//!
+//! The paper deliberately restricts its golden model to **zero delay**,
+//! classifying spurious transitions (glitches) as *parasitic* phenomena
+//! outside the analytical model's scope (Section 2). This module provides a
+//! unit-delay simulator so that gap can be *measured*: every gate switches
+//! one time unit after its inputs, so unequal path depths create glitches,
+//! and each rising edge — spurious or not — charges the gate's load.
+//!
+//! For any transition, the unit-delay switched capacitance is ≥ the
+//! zero-delay one (a net final rise implies at least one rising edge), so
+//! the difference is exactly the glitch energy the analytical model cannot
+//! see.
+
+use charfree_netlist::units::Capacitance;
+use charfree_netlist::{CellKind, Netlist};
+
+/// Result of one unit-delay transition simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitDelayReport {
+    /// Total capacitance charged across *all* rising edges.
+    pub switched: Capacitance,
+    /// Capacitance charged by gates whose final value differs from a rise —
+    /// i.e. the part a zero-delay model cannot attribute (glitches).
+    pub glitch: Capacitance,
+    /// Number of simulation time steps until the circuit settled.
+    pub settle_time: u32,
+    /// Total number of rising edges observed.
+    pub rising_edges: u32,
+}
+
+/// A compiled unit-delay simulator.
+///
+/// # Examples
+///
+/// ```
+/// use charfree_netlist::benchmarks::paper_unit;
+/// use charfree_sim::{UnitDelaySim, ZeroDelaySim};
+///
+/// let unit = paper_unit();
+/// let ud = UnitDelaySim::new(&unit);
+/// let zd = ZeroDelaySim::new(&unit);
+/// let report = ud.simulate_transition(&[true, true], &[false, false]);
+/// let zero = zd.switching_capacitance(&[true, true], &[false, false]);
+/// assert!(report.switched >= zero);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnitDelaySim {
+    num_inputs: usize,
+    num_signals: usize,
+    gates: Vec<(CellKind, Vec<u32>, u32, f64)>,
+    max_steps: u32,
+}
+
+impl UnitDelaySim {
+    /// Compiles `netlist` for unit-delay simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails validation.
+    pub fn new(netlist: &Netlist) -> Self {
+        netlist.validate().expect("netlist must be valid");
+        let mut remap = vec![u32::MAX; netlist.num_signals()];
+        for (i, &sig) in netlist.inputs().iter().enumerate() {
+            remap[sig.index()] = i as u32;
+        }
+        let mut next = netlist.num_inputs() as u32;
+        for (_, gate) in netlist.gates() {
+            remap[gate.output().index()] = next;
+            next += 1;
+        }
+        let gates = netlist
+            .gates()
+            .map(|(_, g)| {
+                (
+                    g.kind(),
+                    g.inputs().iter().map(|s| remap[s.index()]).collect(),
+                    remap[g.output().index()],
+                    g.load().femtofarads(),
+                )
+            })
+            .collect();
+        UnitDelaySim {
+            num_inputs: netlist.num_inputs(),
+            num_signals: netlist.num_signals(),
+            gates,
+            // A combinational unit-delay network settles within `depth`
+            // steps; use a generous bound and assert on it.
+            max_steps: netlist.depth() + 2,
+        }
+    }
+
+    fn settle(&self, inputs: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; self.num_signals];
+        values[..inputs.len()].copy_from_slice(inputs);
+        // Zero-delay settling gives the steady state directly (gates are in
+        // topological order).
+        let mut pins = Vec::with_capacity(4);
+        for (kind, ins, out, _) in &self.gates {
+            pins.clear();
+            pins.extend(ins.iter().map(|&i| values[i as usize]));
+            values[*out as usize] = kind.eval(&pins);
+        }
+        values
+    }
+
+    /// Simulates the transition from settled state `xi` to applied inputs
+    /// `xf`, stepping every gate with one unit of delay, until the network
+    /// settles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pattern widths are wrong.
+    pub fn simulate_transition(&self, xi: &[bool], xf: &[bool]) -> UnitDelayReport {
+        assert_eq!(xi.len(), self.num_inputs, "pattern width mismatch");
+        assert_eq!(xf.len(), self.num_inputs, "pattern width mismatch");
+        let mut values = self.settle(xi);
+        let initial: Vec<bool> = values.clone();
+        // Apply the new inputs instantaneously at t = 0.
+        values[..xf.len()].copy_from_slice(xf);
+
+        let mut switched = 0.0f64;
+        let mut rising_edges = 0u32;
+        let mut settle_time = 0u32;
+        let mut pins = Vec::with_capacity(4);
+        for step in 1..=self.max_steps {
+            let mut next = values.clone();
+            let mut changed = false;
+            for (kind, ins, out, load) in &self.gates {
+                pins.clear();
+                pins.extend(ins.iter().map(|&i| values[i as usize]));
+                let v = kind.eval(&pins);
+                let o = *out as usize;
+                if v != values[o] {
+                    changed = true;
+                    if v {
+                        switched += load;
+                        rising_edges += 1;
+                    }
+                }
+                next[o] = v;
+            }
+            values = next;
+            if !changed {
+                settle_time = step - 1;
+                break;
+            }
+            assert!(
+                step < self.max_steps,
+                "unit-delay network failed to settle within depth bound"
+            );
+        }
+
+        // Zero-delay attribution: gates that finally rose.
+        let mut zero_delay = 0.0f64;
+        for (_, _, out, load) in &self.gates {
+            let o = *out as usize;
+            if !initial[o] && values[o] {
+                zero_delay += load;
+            }
+        }
+        UnitDelayReport {
+            switched: Capacitance(switched),
+            glitch: Capacitance(switched - zero_delay),
+            settle_time,
+            rising_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ZeroDelaySim;
+    use charfree_netlist::benchmarks::{self, paper_unit};
+    use charfree_netlist::{CellKind, Library};
+
+    #[test]
+    fn no_glitches_on_balanced_unit() {
+        // The Fig. 2 unit is depth 1 — no reconvergent paths, no glitches.
+        let u = paper_unit();
+        let ud = UnitDelaySim::new(&u);
+        let zd = ZeroDelaySim::new(&u);
+        for xi_bits in 0..4u32 {
+            for xf_bits in 0..4u32 {
+                let xi = [xi_bits & 1 != 0, xi_bits & 2 != 0];
+                let xf = [xf_bits & 1 != 0, xf_bits & 2 != 0];
+                let r = ud.simulate_transition(&xi, &xf);
+                assert_eq!(r.glitch, Capacitance(0.0));
+                assert_eq!(r.switched, zd.switching_capacitance(&xi, &xf));
+            }
+        }
+    }
+
+    #[test]
+    fn reconvergent_path_glitches() {
+        // y = a XOR (a inverted twice) is constant 0 but glitches when a
+        // rises: the direct path switches the XOR before the 2-inverter
+        // path catches up.
+        let mut n = charfree_netlist::Netlist::new("glitchy");
+        let a = n.add_input("a").expect("fresh");
+        let i1 = n.add_gate(CellKind::Inv, &[a]).expect("ok");
+        let i2 = n.add_gate(CellKind::Inv, &[i1]).expect("ok");
+        let y = n.add_gate(CellKind::Xor2, &[a, i2]).expect("ok");
+        n.mark_output(y).expect("ok");
+        n.annotate_loads(&Library::test_library());
+
+        let ud = UnitDelaySim::new(&n);
+        let r = ud.simulate_transition(&[false], &[true]);
+        assert!(
+            r.glitch.femtofarads() > 0.0,
+            "rising input must glitch the XOR: {r:?}"
+        );
+        // The zero-delay model sees nothing on the XOR output (0 -> 0).
+        let zd = ZeroDelaySim::new(&n);
+        let z = zd.switching_capacitance(&[false], &[true]);
+        assert!(r.switched > z);
+    }
+
+    #[test]
+    fn unit_delay_dominates_zero_delay_everywhere() {
+        let lib = Library::test_library();
+        let n = benchmarks::cm85(&lib);
+        let ud = UnitDelaySim::new(&n);
+        let zd = ZeroDelaySim::new(&n);
+        let mut state = 77u64;
+        let mut glitchy = 0usize;
+        for _ in 0..200 {
+            let mut next_pattern = || -> Vec<bool> {
+                (0..11)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        state >> 62 & 1 == 1
+                    })
+                    .collect()
+            };
+            let xi = next_pattern();
+            let xf = next_pattern();
+            let r = ud.simulate_transition(&xi, &xf);
+            let z = zd.switching_capacitance(&xi, &xf);
+            assert!(
+                r.switched.femtofarads() >= z.femtofarads() - 1e-9,
+                "unit-delay must dominate"
+            );
+            assert!(r.glitch.femtofarads() >= -1e-9);
+            if r.glitch.femtofarads() > 0.0 {
+                glitchy += 1;
+            }
+        }
+        assert!(glitchy > 0, "cm85 has unbalanced paths; some glitches expected");
+    }
+
+    #[test]
+    fn settles_within_depth() {
+        let lib = Library::test_library();
+        let n = benchmarks::parity(&lib);
+        let ud = UnitDelaySim::new(&n);
+        let r = ud.simulate_transition(&vec![false; 16], &vec![true; 16]);
+        assert!(r.settle_time <= n.depth() + 1);
+    }
+}

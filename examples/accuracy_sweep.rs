@@ -1,0 +1,75 @@
+//! Out-of-sample accuracy: why characterization is fragile and the
+//! analytical model is not (the paper's Section 1.1 / Fig. 7a story).
+//!
+//! Characterizes a constant (`Con`) and a linear (`Lin`) model at the
+//! paper's standard operating point (`sp = st = 0.5`), builds a 500-node
+//! analytical ADD model of the same macro, and sweeps the input transition
+//! probability. `Con`/`Lin` are fine in-sample and explode out-of-sample;
+//! the analytical model's accuracy barely moves.
+//!
+//! ```text
+//! cargo run --release --example accuracy_sweep
+//! ```
+
+use charfree::netlist::{benchmarks, Library};
+use charfree::sim::ZeroDelaySim;
+use charfree::{
+    evaluate, fig7a_grid, ConstantModel, LinearModel, ModelBuilder, Protocol, TrainingSet,
+};
+
+fn main() {
+    let library = Library::test_library();
+    let cm85 = benchmarks::cm85(&library);
+    let sim = ZeroDelaySim::new(&cm85);
+
+    // Simulation-based characterization, exactly as the paper does for its
+    // baselines: one random sequence at sp = st = 0.5.
+    println!("characterizing Con and Lin at (sp, st) = (0.5, 0.5) ...");
+    let training = TrainingSet::sample(&sim, 10_000, 42);
+    let con = ConstantModel::fit(&training);
+    let lin = LinearModel::fit(&training);
+    println!(
+        "  Con = {:.1} fF constant; Lin has {} coefficients",
+        con.value().femtofarads(),
+        lin.coefficients().len()
+    );
+
+    // The analytical model needs no simulation at all.
+    let add = ModelBuilder::new(&cm85).max_nodes(500).build();
+    println!(
+        "  ADD model: {} nodes, built in {:.2}s — no characterization\n",
+        add.size(),
+        add.report().cpu.as_secs_f64()
+    );
+
+    let eval = evaluate(
+        &[&con, &lin, &add],
+        &sim,
+        &fig7a_grid(),
+        5_000,
+        Protocol::AveragePower,
+        7,
+    );
+    println!("relative error of average-power estimates vs st (sp = 0.5):");
+    println!(
+        "{:>5} {:>12} {:>10} {:>10} {:>10}",
+        "st", "golden (fF)", "Con RE%", "Lin RE%", "ADD RE%"
+    );
+    for p in &eval.points {
+        println!(
+            "{:>5.2} {:>12.2} {:>10.1} {:>10.1} {:>10.1}",
+            p.st,
+            p.reference,
+            p.relative_errors[0] * 100.0,
+            p.relative_errors[1] * 100.0,
+            p.relative_errors[2] * 100.0
+        );
+    }
+    println!(
+        "\nARE: Con = {:.1}%, Lin = {:.1}%, ADD = {:.1}%",
+        eval.are_percent(0),
+        eval.are_percent(1),
+        eval.are_percent(2)
+    );
+    println!("(the in-sample point st = 0.5 is where Con/Lin look deceptively good)");
+}

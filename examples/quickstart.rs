@@ -1,0 +1,97 @@
+//! Quickstart: the paper's running example (Figs. 2–5) end to end.
+//!
+//! Builds the 3-gate example unit, constructs the exact switching-
+//! capacitance ADD, reproduces the Fig. 2b look-up table, and shows the two
+//! approximation strategies (average-accurate and conservative upper
+//! bound) degrading the model gracefully.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use charfree::netlist::benchmarks::paper_unit;
+use charfree::sim::{ExhaustivePairs, ZeroDelaySim};
+use charfree::{ApproxStrategy, ModelBuilder, PowerModel};
+
+fn main() {
+    let unit = paper_unit();
+    println!(
+        "Unit U (Fig. 2a): {} inputs, {} gates, total load {}",
+        unit.num_inputs(),
+        unit.num_gates(),
+        unit.total_load()
+    );
+
+    // The exact analytical model — no simulation, no characterization.
+    let model = ModelBuilder::new(&unit).build();
+    println!(
+        "exact ADD model: {} nodes ({})\n",
+        model.size(),
+        model.report()
+    );
+
+    // Fig. 2b: the full LUT of C(x^i, x^f), cross-checked against the
+    // golden-model simulator.
+    let sim = ZeroDelaySim::new(&unit);
+    println!("Fig. 2b — switching-capacitance LUT (fF):");
+    println!("{:>6} {:>6} {:>8} {:>10}", "x^i", "x^f", "model", "gate-level");
+    for (xi, xf) in ExhaustivePairs::new(2) {
+        let predicted = model.capacitance(&xi, &xf);
+        let simulated = sim.switching_capacitance(&xi, &xf);
+        assert_eq!(predicted, simulated, "exact model must match the simulator");
+        println!(
+            "{:>6} {:>6} {:>8.1} {:>10.1}",
+            format!("{}{}", u8::from(xi[0]), u8::from(xi[1])),
+            format!("{}{}", u8::from(xf[0]), u8::from(xf[1])),
+            predicted.femtofarads(),
+            simulated.femtofarads()
+        );
+    }
+
+    println!(
+        "\nExample 1: C(11 -> 00) = {} (paper: 90 fF)",
+        model.capacitance(&[true, true], &[false, false])
+    );
+    println!(
+        "symbolic average over all transitions: {:.2} fF",
+        model.average_capacitance().femtofarads()
+    );
+    println!(
+        "symbolic worst case: {} at transition {:?}",
+        model.max_capacitance(),
+        model.worst_case_transition()
+    );
+
+    // Accuracy/size trade-off: collapse the model to ever-smaller ADDs.
+    println!("\naverage-strategy collapse (Fig. 4 flavor):");
+    for budget in [7usize, 5, 3, 1] {
+        let small = ModelBuilder::new(&unit)
+            .build()
+            .shrink(budget, ApproxStrategy::Average);
+        println!(
+            "  budget {:>2}: size {:>2}, avg {:>6.2} fF (exact avg preserved under the paper's plain config)",
+            budget,
+            small.size(),
+            small.average_capacitance().femtofarads(),
+        );
+    }
+
+    // Conservative collapse (Fig. 5 flavor): never under-estimates.
+    println!("\nupper-bound collapse (Fig. 5 flavor):");
+    let bound = ModelBuilder::new(&unit)
+        .build()
+        .shrink(5, ApproxStrategy::UpperBound);
+    let mut worst_slack = 0.0f64;
+    let mut true_max = 0.0f64;
+    for (xi, xf) in ExhaustivePairs::new(2) {
+        let b = bound.capacitance(&xi, &xf).femtofarads();
+        let t = sim.switching_capacitance(&xi, &xf).femtofarads();
+        assert!(b >= t - 1e-9, "bound must be conservative");
+        worst_slack = worst_slack.max(b - t);
+        true_max = true_max.max(t);
+    }
+    println!(
+        "  5-node bound: global max {} (true max {true_max} fF), worst per-pattern slack {worst_slack:.1} fF",
+        bound.max_capacitance(),
+    );
+}

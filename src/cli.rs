@@ -1,0 +1,579 @@
+//! The `charfree` command-line interface.
+//!
+//! Thin, dependency-free argument handling around the library: every
+//! subcommand is a pure function from parsed options to a printable
+//! report, so the whole CLI is unit-testable without spawning processes.
+//!
+//! ```text
+//! charfree model <netlist.{blif,v}> [-o M.cfm] [--max N] [--upper-bound]
+//!                [--library L.lib] [--paper-plain]
+//! charfree eval <M.cfm> [--vectors N] [--sp P] [--st P] [--vdd V]
+//!                [--period NS] [--seed S]
+//! charfree datasheet <M.cfm> [--top K]
+//! charfree sim <netlist.{blif,v}> [--vectors N] [--sp P] [--st P]
+//!                [--library L.lib] [--seed S]
+//! charfree bench <name> [--format blif|verilog]
+//! ```
+
+use charfree_core::{AddPowerModel, ApproxStrategy, ModelBuilder, PowerModel};
+use charfree_netlist::units::Voltage;
+use charfree_netlist::{benchmarks, blif, libspec, verilog, Library, Netlist};
+use charfree_sim::{MarkovSource, ZeroDelaySim};
+use std::fmt::Write as _;
+use std::fs;
+
+/// A CLI failure, printed to stderr with exit code 1.
+pub type CliError = String;
+
+/// Entry point: runs the subcommand in `args` (without the program name)
+/// and returns the report to print.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, bad flags, I/O
+/// failures and malformed inputs.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (command, rest) = args
+        .split_first()
+        .ok_or_else(|| usage("missing subcommand"))?;
+    match command.as_str() {
+        "model" => cmd_model(rest),
+        "eval" => cmd_eval(rest),
+        "datasheet" => cmd_datasheet(rest),
+        "expected" => cmd_expected(rest),
+        "trace" => cmd_trace(rest),
+        "sim" => cmd_sim(rest),
+        "bench" => cmd_bench(rest),
+        "--help" | "-h" | "help" => Ok(usage("")),
+        other => Err(usage(&format!("unknown subcommand `{other}`"))),
+    }
+}
+
+fn usage(prefix: &str) -> String {
+    let mut out = String::new();
+    if !prefix.is_empty() {
+        let _ = writeln!(out, "error: {prefix}\n");
+    }
+    out.push_str(
+        "charfree — characterization-free behavioral power modeling\n\
+         \n\
+         usage:\n\
+         \x20 charfree model <netlist.{blif,v}> [-o M.cfm] [--max N] [--upper-bound]\n\
+         \x20                [--library L.lib] [--paper-plain]\n\
+         \x20 charfree eval <M.cfm> [--vectors N] [--sp P] [--st P] [--vdd V]\n\
+         \x20                [--period NS] [--seed S]\n\
+         \x20 charfree datasheet <M.cfm> [--top K]\n\
+         \x20 charfree expected <M.cfm> [--sp P] [--st P]\n\
+         \x20 charfree trace <M.cfm> [--vectors N] [--sp P] [--st P] [--vdd V]\n\
+         \x20                [--period NS] [--seed S] [-o out.csv]\n\
+         \x20 charfree sim <netlist.{blif,v}> [--vectors N] [--sp P] [--st P]\n\
+         \x20                [--library L.lib] [--seed S]\n\
+         \x20 charfree bench <name> [--format blif|verilog]\n",
+    );
+    out
+}
+
+/// Minimal flag cursor over the argument list.
+struct Flags<'a> {
+    args: &'a [String],
+    used: Vec<bool>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags {
+            args,
+            used: vec![false; args.len()],
+        }
+    }
+
+    /// The first unused non-flag argument (the positional operand).
+    fn positional(&mut self) -> Result<&'a str, CliError> {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] && !a.starts_with('-') {
+                self.used[i] = true;
+                return Ok(a);
+            }
+        }
+        Err("missing required operand".to_owned())
+    }
+
+    fn flag(&mut self, name: &str) -> bool {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] && a == name {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<&'a str>, CliError> {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] && a == name {
+                self.used[i] = true;
+                let v = self
+                    .args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag `{name}` needs a value"))?;
+                self.used[i + 1] = true;
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, CliError> {
+        match self.value(name)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value `{v}` for `{name}`")),
+        }
+    }
+
+    fn finish(self) -> Result<(), CliError> {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used[i] {
+                return Err(format!("unexpected argument `{a}`"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn load_library(flags: &mut Flags<'_>) -> Result<Library, CliError> {
+    match flags.value("--library")? {
+        None => Ok(Library::test_library()),
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            libspec::parse(&text).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn load_netlist(path: &str, library: &Library) -> Result<Netlist, CliError> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut netlist = if path.ends_with(".v") || path.ends_with(".sv") {
+        verilog::parse(&text).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        blif::parse(&text).map_err(|e| format!("{path}: {e}"))?
+    };
+    netlist.annotate_loads(library);
+    Ok(netlist)
+}
+
+fn load_model(path: &str) -> Result<AddPowerModel, CliError> {
+    let text = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    AddPowerModel::load(text.as_slice()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_model(args: &[String]) -> Result<String, CliError> {
+    let mut flags = Flags::new(args);
+    let library = load_library(&mut flags)?;
+    let netlist_path = flags.positional()?;
+    let out_path = flags.value("-o")?.map(str::to_owned);
+    let max: usize = flags.parse("--max", 0)?;
+    let upper_bound = flags.flag("--upper-bound");
+    let paper_plain = flags.flag("--paper-plain");
+    flags.finish()?;
+
+    let netlist = load_netlist(netlist_path, &library)?;
+    let mut builder = ModelBuilder::new(&netlist);
+    if max > 0 {
+        builder = builder.max_nodes(max);
+    }
+    if upper_bound {
+        builder = builder.strategy(ApproxStrategy::UpperBound);
+    }
+    if paper_plain {
+        builder = builder
+            .collapse_toggles(&[0.5])
+            .leaf_recalibration(false)
+            .diagonal_gating(false);
+    }
+    let mut model = builder.build();
+    model.set_name(netlist.name());
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "built power model for `{}`: n={} N={} -> {} nodes in {:.2}s{}",
+        netlist.name(),
+        netlist.num_inputs(),
+        netlist.num_gates(),
+        model.size(),
+        model.report().cpu.as_secs_f64(),
+        if model.report().exact { " (exact)" } else { "" }
+    );
+    let _ = writeln!(
+        report,
+        "avg {:.2} fF, max {:.2} fF",
+        model.average_capacitance().femtofarads(),
+        model.max_capacitance().femtofarads()
+    );
+    match out_path {
+        Some(path) => {
+            let mut buf = Vec::new();
+            model.save(&mut buf).map_err(|e| e.to_string())?;
+            fs::write(&path, buf).map_err(|e| format!("{path}: {e}"))?;
+            let _ = writeln!(report, "wrote {path}");
+        }
+        None => {
+            let _ = writeln!(report, "(no -o given; model not persisted)");
+        }
+    }
+    Ok(report)
+}
+
+fn cmd_eval(args: &[String]) -> Result<String, CliError> {
+    let mut flags = Flags::new(args);
+    let model_path = flags.positional()?;
+    let vectors: usize = flags.parse("--vectors", 10_000)?;
+    let sp: f64 = flags.parse("--sp", 0.5)?;
+    let st: f64 = flags.parse("--st", 0.5)?;
+    let vdd: f64 = flags.parse("--vdd", 3.3)?;
+    let period: f64 = flags.parse("--period", 10.0)?;
+    let seed: u64 = flags.parse("--seed", 1)?;
+    flags.finish()?;
+
+    let model = load_model(model_path)?;
+    let mut source = MarkovSource::new(model.num_inputs(), sp, st, seed)
+        .map_err(|e| e.to_string())?;
+    let patterns = source.sequence(vectors.max(2));
+    let vdd = Voltage(vdd);
+    let mut sum = 0.0f64;
+    let mut peak = 0.0f64;
+    for t in 0..patterns.len() - 1 {
+        let e = model
+            .energy(&patterns[t], &patterns[t + 1], vdd)
+            .femtojoules();
+        sum += e;
+        peak = peak.max(e);
+    }
+    let cycles = (patterns.len() - 1) as f64;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "model `{}` on {} vectors (sp={sp}, st={st}, Vdd={} V, T={period} ns):",
+        model.name(),
+        patterns.len(),
+        vdd.volts()
+    );
+    let _ = writeln!(report, "  average energy/cycle: {:.2} fJ", sum / cycles);
+    let _ = writeln!(report, "  average power:        {:.3} uW", sum / cycles / period);
+    let _ = writeln!(report, "  peak energy/cycle:    {peak:.2} fJ");
+    let _ = writeln!(report, "  peak power:           {:.3} uW", peak / period);
+    Ok(report)
+}
+
+fn cmd_datasheet(args: &[String]) -> Result<String, CliError> {
+    let mut flags = Flags::new(args);
+    let model_path = flags.positional()?;
+    let top: usize = flags.parse("--top", 5)?;
+    flags.finish()?;
+
+    let model = load_model(model_path)?;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "power datasheet for `{}` ({} inputs, {} nodes{})",
+        model.name(),
+        model.num_inputs(),
+        model.size(),
+        if model.report().exact { ", exact" } else { "" }
+    );
+    let _ = writeln!(
+        report,
+        "  average switched capacitance: {:.2} fF",
+        model.average_capacitance().femtofarads()
+    );
+    let _ = writeln!(
+        report,
+        "  worst-case switched capacitance: {:.2} fF",
+        model.max_capacitance().femtofarads()
+    );
+    let _ = writeln!(report, "  top {top} capacitance levels:");
+    for level in model.peak_spectrum(top) {
+        let fmt_bits = |bits: &[bool]| -> String {
+            bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        };
+        let _ = writeln!(
+            report,
+            "    {:>9.2} fF  x{:<12} {} -> {}",
+            level.capacitance.femtofarads(),
+            level.count,
+            fmt_bits(&level.witness.0),
+            fmt_bits(&level.witness.1)
+        );
+    }
+    Ok(report)
+}
+
+fn cmd_expected(args: &[String]) -> Result<String, CliError> {
+    let mut flags = Flags::new(args);
+    let model_path = flags.positional()?;
+    let sp: f64 = flags.parse("--sp", 0.5)?;
+    let st: f64 = flags.parse("--st", 0.5)?;
+    flags.finish()?;
+    let model = load_model(model_path)?;
+    let c = model.expected_capacitance(sp, st);
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "analytic expected switched capacitance of `{}` at (sp={sp}, st={st}): {:.3} fF/cycle",
+        model.name(),
+        c.femtofarads()
+    );
+    let _ = writeln!(report, "(symbolic — no simulation vectors involved)");
+    Ok(report)
+}
+
+fn cmd_trace(args: &[String]) -> Result<String, CliError> {
+    let mut flags = Flags::new(args);
+    let model_path = flags.positional()?;
+    let vectors: usize = flags.parse("--vectors", 1000)?;
+    let sp: f64 = flags.parse("--sp", 0.5)?;
+    let st: f64 = flags.parse("--st", 0.5)?;
+    let vdd: f64 = flags.parse("--vdd", 3.3)?;
+    let period: f64 = flags.parse("--period", 10.0)?;
+    let seed: u64 = flags.parse("--seed", 1)?;
+    let out_path = flags.value("-o")?.map(str::to_owned);
+    flags.finish()?;
+
+    let model = load_model(model_path)?;
+    let mut source = MarkovSource::new(model.num_inputs(), sp, st, seed)
+        .map_err(|e| e.to_string())?;
+    let patterns = source.sequence(vectors.max(2));
+    let caps: Vec<_> = (0..patterns.len() - 1)
+        .map(|t| model.capacitance(&patterns[t], &patterns[t + 1]))
+        .collect();
+    let trace = charfree_sim::EnergyTrace::from_switched(&caps, Voltage(vdd), period);
+
+    let mut csv = Vec::new();
+    trace.write_csv(&mut csv).map_err(|e| e.to_string())?;
+    match out_path {
+        Some(path) => {
+            fs::write(&path, csv).map_err(|e| format!("{path}: {e}"))?;
+            let mut report = String::new();
+            let _ = writeln!(
+                report,
+                "wrote {} cycles to {path} (avg {:.3} uW, windowed-16 peak {:.2} fJ)",
+                trace.len(),
+                trace.average_power().microwatts(),
+                trace.windowed_peak_energy(16).femtojoules()
+            );
+            Ok(report)
+        }
+        None => Ok(String::from_utf8(csv).map_err(|e| e.to_string())?),
+    }
+}
+
+fn cmd_sim(args: &[String]) -> Result<String, CliError> {
+    let mut flags = Flags::new(args);
+    let library = load_library(&mut flags)?;
+    let netlist_path = flags.positional()?;
+    let vectors: usize = flags.parse("--vectors", 10_000)?;
+    let sp: f64 = flags.parse("--sp", 0.5)?;
+    let st: f64 = flags.parse("--st", 0.5)?;
+    let seed: u64 = flags.parse("--seed", 1)?;
+    flags.finish()?;
+
+    let netlist = load_netlist(netlist_path, &library)?;
+    let sim = ZeroDelaySim::new(&netlist);
+    let mut source =
+        MarkovSource::new(netlist.num_inputs(), sp, st, seed).map_err(|e| e.to_string())?;
+    let patterns = source.sequence(vectors.max(2));
+    let trace = sim.switching_trace(&patterns);
+    let avg = trace.iter().map(|c| c.femtofarads()).sum::<f64>() / trace.len() as f64;
+    let peak = trace
+        .iter()
+        .map(|c| c.femtofarads())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "gate-level simulation of `{}`: {} vectors (sp={sp}, st={st})",
+        netlist.name(),
+        patterns.len()
+    );
+    let _ = writeln!(report, "  average switched capacitance: {avg:.2} fF/cycle");
+    let _ = writeln!(report, "  peak switched capacitance:    {peak:.2} fF");
+    Ok(report)
+}
+
+fn cmd_bench(args: &[String]) -> Result<String, CliError> {
+    let mut flags = Flags::new(args);
+    let name = flags.positional()?;
+    let format = flags.value("--format")?.unwrap_or("blif").to_owned();
+    flags.finish()?;
+
+    let library = Library::test_library();
+    let netlist = benchmarks::by_name(name, &library)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (see DESIGN.md §4 for the set)"))?;
+    match format.as_str() {
+        "blif" => Ok(blif::write(&netlist)),
+        "verilog" | "v" => Ok(verilog::write(&netlist)),
+        other => Err(format!("unknown format `{other}` (blif|verilog)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&s(&["help"])).expect("help works").contains("usage"));
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn bench_emits_parseable_netlists() {
+        let text = run(&s(&["bench", "cm85"])).expect("bench works");
+        assert!(blif::parse(&text).is_ok());
+        let text = run(&s(&["bench", "decod", "--format", "verilog"])).expect("verilog");
+        assert!(verilog::parse(&text).is_ok());
+        assert!(run(&s(&["bench", "nope"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_model_eval_datasheet() {
+        let dir = std::env::temp_dir().join("charfree-cli-test");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let netlist_path = dir.join("decod.blif");
+        let model_path = dir.join("decod.cfm");
+        let blif_text = run(&s(&["bench", "decod"])).expect("bench");
+        fs::write(&netlist_path, blif_text).expect("write blif");
+
+        let report = run(&s(&[
+            "model",
+            netlist_path.to_str().expect("utf8"),
+            "-o",
+            model_path.to_str().expect("utf8"),
+            "--max",
+            "300",
+        ]))
+        .expect("model builds");
+        assert!(report.contains("built power model"));
+        assert!(report.contains("wrote"));
+
+        let report = run(&s(&[
+            "eval",
+            model_path.to_str().expect("utf8"),
+            "--vectors",
+            "500",
+            "--st",
+            "0.3",
+        ]))
+        .expect("eval runs");
+        assert!(report.contains("average power"));
+
+        let report = run(&s(&[
+            "datasheet",
+            model_path.to_str().expect("utf8"),
+            "--top",
+            "3",
+        ]))
+        .expect("datasheet runs");
+        assert!(report.contains("worst-case"));
+
+        let report =
+            run(&s(&["sim", netlist_path.to_str().expect("utf8"), "--vectors", "500"]))
+                .expect("sim runs");
+        assert!(report.contains("gate-level simulation"));
+    }
+
+    #[test]
+    fn flag_errors_are_reported() {
+        assert!(run(&s(&["eval"])).is_err());
+        assert!(run(&s(&["model", "/nonexistent.blif"])).is_err());
+        let dir = std::env::temp_dir().join("charfree-cli-test2");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let p = dir.join("x.blif");
+        fs::write(&p, run(&s(&["bench", "parity"])).expect("bench")).expect("write");
+        assert!(run(&s(&["model", p.to_str().expect("utf8"), "--max", "abc"])).is_err());
+        assert!(run(&s(&["model", p.to_str().expect("utf8"), "--bogus"])).is_err());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    fn model_file() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("charfree-cli-test3");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let netlist_path = dir.join("cm85.blif");
+        let model_path = dir.join("cm85.cfm");
+        fs::write(&netlist_path, run(&s(&["bench", "cm85"])).expect("bench")).expect("write");
+        run(&s(&[
+            "model",
+            netlist_path.to_str().expect("utf8"),
+            "-o",
+            model_path.to_str().expect("utf8"),
+            "--max",
+            "200",
+        ]))
+        .expect("model builds");
+        model_path
+    }
+
+    #[test]
+    fn expected_subcommand_is_monotone_in_activity() {
+        let model_path = model_file();
+        let low = run(&s(&["expected", model_path.to_str().expect("utf8"), "--st", "0.1"]))
+            .expect("expected runs");
+        let high = run(&s(&["expected", model_path.to_str().expect("utf8"), "--st", "0.8"]))
+            .expect("expected runs");
+        let grab = |text: &str| -> f64 {
+            text.split(':')
+                .nth(1)
+                .expect("value present")
+                .split_whitespace()
+                .next()
+                .expect("number")
+                .parse()
+                .expect("parses")
+        };
+        assert!(grab(&high) > grab(&low), "more activity, more power");
+    }
+
+    #[test]
+    fn trace_subcommand_emits_csv() {
+        let model_path = model_file();
+        let csv = run(&s(&[
+            "trace",
+            model_path.to_str().expect("utf8"),
+            "--vectors",
+            "64",
+        ]))
+        .expect("trace runs");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 64); // header + 63 transitions
+        assert!(lines[0].starts_with("cycle,"));
+
+        // File output variant.
+        let out = std::env::temp_dir().join("charfree-cli-test3/trace.csv");
+        let report = run(&s(&[
+            "trace",
+            model_path.to_str().expect("utf8"),
+            "--vectors",
+            "64",
+            "-o",
+            out.to_str().expect("utf8"),
+        ]))
+        .expect("trace writes");
+        assert!(report.contains("wrote"));
+        assert!(fs::read_to_string(&out).expect("written").starts_with("cycle,"));
+    }
+}

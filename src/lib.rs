@@ -1,0 +1,53 @@
+//! # charfree — characterization-free behavioral power modeling
+//!
+//! A from-scratch Rust reproduction of
+//! *A. Bogliolo, L. Benini, G. De Micheli, "Characterization-Free
+//! Behavioral Power Modeling", DATE 1998*: analytical, white-box
+//! construction of pattern-dependent RT-level power models for
+//! combinational macros, with conservative pattern-dependent upper bounds,
+//! built symbolically from the gate-level netlist — no simulation-based
+//! characterization.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`dd`] — reduced ordered BDDs/ADDs with statistics, measures and node
+//!   collapsing (the CUDD substitute);
+//! * [`netlist`] — the golden-model substrate: cell library with pin
+//!   capacitances, BLIF I/O, capacitive back-annotation, and
+//!   MCNC-equivalent benchmark generators;
+//! * [`sim`] — zero-delay (golden) and unit-delay gate-level simulation,
+//!   Markov pattern sources with controlled `(sp, st)` statistics;
+//! * the core items at the crate root — [`ModelBuilder`], [`AddPowerModel`],
+//!   [`ApproxStrategy`], the [`ConstantModel`]/[`LinearModel`] baselines,
+//!   the [`evaluate`] accuracy harness and [`RtlDesign`] composition.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use charfree::{ModelBuilder, PowerModel};
+//! use charfree::netlist::benchmarks::paper_unit;
+//!
+//! // The paper's Fig. 2 example unit: an exact analytical power model.
+//! let model = ModelBuilder::new(&paper_unit()).build();
+//! let c = model.capacitance(&[true, true], &[false, false]);
+//! assert_eq!(c.femtofarads(), 90.0); // Example 1: C(11, 00) = 90 fF
+//! ```
+//!
+//! See `examples/` for runnable scenarios, `DESIGN.md` for the system
+//! inventory and the refinements over the paper, and `EXPERIMENTS.md` for
+//! the paper-vs-measured record of every table and figure.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use charfree_core::*;
+
+/// Decision-diagram substrate (re-export of `charfree-dd`).
+pub use charfree_dd as dd;
+
+/// Gate-level netlist substrate (re-export of `charfree-netlist`).
+pub use charfree_netlist as netlist;
+
+/// Simulation and pattern sources (re-export of `charfree-sim`).
+pub use charfree_sim as sim;

@@ -1,0 +1,13 @@
+//! The `charfree` command-line tool. See `charfree --help` or the
+//! [`charfree::cli`] module docs.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match charfree::cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    }
+}
