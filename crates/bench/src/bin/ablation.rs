@@ -10,8 +10,10 @@ use charfree_bench::{ablation, Config};
 use charfree_netlist::{benchmarks, Library};
 
 fn main() {
-    let mut config = Config::default();
-    config.vectors = 4000;
+    let mut config = Config {
+        vectors: 4000,
+        ..Default::default()
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--vectors" {

@@ -259,7 +259,8 @@ pub fn ablation(netlist: &Netlist, max_nodes: usize, config: &Config) -> Vec<(St
     let sim = ZeroDelaySim::new(netlist);
     let grid = statistics_grid();
     let mut results = Vec::new();
-    let variants: [(&str, Box<dyn Fn() -> charfree_core::AddPowerModel>); 5] = [
+    type Variant<'a> = (&'a str, Box<dyn Fn() -> charfree_core::AddPowerModel + 'a>);
+    let variants: [Variant<'_>; 5] = [
         (
             "full (mixture+gating+recalibration)",
             Box::new(|| ModelBuilder::new(netlist).max_nodes(max_nodes).build()),

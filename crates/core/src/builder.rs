@@ -21,10 +21,14 @@
 
 use crate::approx::{approximate_to_mixture, ApproxStrategy};
 use crate::calibrate::{recalibrate_leaves, ExactMeans};
+use crate::degrade::{BuildError, DegradationReport, DegradationRung};
 use crate::model::{AddPowerModel, BuildReport, VariableOrdering};
-use charfree_dd::{Add, Bdd, ChainMeasure, Manager};
+use charfree_dd::reorder::reorder_paired_windows;
+use charfree_dd::{
+    Add, Bdd, Budget, CancelToken, ChainMeasure, DdError, Manager, NodeId, Resource, Var,
+};
 use charfree_netlist::{CellKind, Netlist};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How macro inputs are arranged along the diagram's variable order.
 ///
@@ -75,6 +79,12 @@ pub struct ModelBuilder<'a> {
     recalibrate: bool,
     diagonal_gating: bool,
     compact_every: usize,
+    node_budget: Option<u64>,
+    time_budget: Option<Duration>,
+    step_budget: Option<u64>,
+    cancel: Option<CancelToken>,
+    trips: Vec<u64>,
+    strict: bool,
 }
 
 /// Default toggle-probability family the collapse mixture spans; chosen to
@@ -96,6 +106,12 @@ impl<'a> ModelBuilder<'a> {
             recalibrate: true,
             diagonal_gating: true,
             compact_every: 16,
+            node_budget: None,
+            time_budget: None,
+            step_budget: None,
+            cancel: None,
+            trips: Vec::new(),
+            strict: false,
         }
     }
 
@@ -183,7 +199,78 @@ impl<'a> ModelBuilder<'a> {
         self
     }
 
-    /// Runs the construction.
+    /// Caps the live-node population of the construction arena — the
+    /// primary knob of the resource governor. When the cap trips, the
+    /// degradation ladder fires (see [`DegradationReport`]); in
+    /// [`ModelBuilder::strict`] mode the build fails instead. The final
+    /// model is also approximated below this cap.
+    ///
+    /// Distinct from [`ModelBuilder::max_nodes`]: `max_nodes` is the
+    /// paper's *accuracy* knob (target size of the finished model), the
+    /// node budget is a *robustness* knob (hard ceiling on transient
+    /// construction state, including the gate BDDs that `max_nodes`
+    /// cannot approximate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn node_budget(mut self, nodes: u64) -> Self {
+        assert!(nodes >= 1, "node budget must be at least 1");
+        self.node_budget = Some(nodes);
+        self
+    }
+
+    /// Sets a wall-clock deadline for the whole construction. A deadline
+    /// trip skips straight to the constant-fallback rung — retrying
+    /// cannot recover elapsed time.
+    pub fn time_budget(mut self, timeout: Duration) -> Self {
+        self.time_budget = Some(timeout);
+        self
+    }
+
+    /// Caps cache-missing apply/ITE recursion steps, a deterministic CPU
+    /// proxy. Exhaustion is terminal (like the deadline): the step
+    /// counter is cumulative, so a retry would trip again immediately.
+    pub fn step_budget(mut self, steps: u64) -> Self {
+        self.step_budget = Some(steps);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token. Cancelling degrades
+    /// the build to the constant fallback at the next checkpoint (or
+    /// fails it in strict mode) — either way the call returns promptly
+    /// with a well-formed result.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Strict mode: the first budget trip aborts the build with
+    /// [`BuildError::BudgetExceeded`] instead of degrading the model.
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    /// Schedules a deterministic fault-injection budget trip `n`
+    /// checkpoints after the previously scheduled one (chainable; see
+    /// [`Budget::trip_after`]). Lets tests exercise each degradation
+    /// rung without constructing genuinely huge diagrams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn trip_after(mut self, n: u64) -> Self {
+        assert!(n > 0, "trip_after needs a positive checkpoint count");
+        self.trips.push(n);
+        self
+    }
+
+    /// Runs the construction, panicking on failure.
+    ///
+    /// Without a resource budget configured the construction cannot fail,
+    /// so this stays the convenient entry point for unbudgeted builds;
+    /// budgeted callers use [`ModelBuilder::try_build`].
     ///
     /// Setting the `CHARFREE_BUILD_TRACE` environment variable makes the
     /// build print per-25-gate progress (arena size, pending partial-sum
@@ -191,20 +278,79 @@ impl<'a> ModelBuilder<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the netlist fails validation.
+    /// Panics if the netlist fails validation, or if a configured budget
+    /// is exhausted in strict mode.
     pub fn build(self) -> AddPowerModel {
-        self.netlist.validate().expect("netlist must be valid");
+        self.try_build()
+            .unwrap_or_else(|e| panic!("netlist must be valid and within budget: {e}"))
+    }
+
+    /// Runs the construction under the configured resource budget,
+    /// degrading gracefully instead of failing.
+    ///
+    /// When a budget limit trips mid-construction the builder walks a
+    /// three-rung degradation ladder (collapse pending partial sums →
+    /// reorder variables and retry the failed gate → fold the remaining
+    /// gates in as conservative load constants) and returns `Ok` with a
+    /// [`DegradationReport`] attached to the model
+    /// ([`AddPowerModel::degradation`]). Only [`ModelBuilder::strict`]
+    /// mode converts a trip into an error.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::InvalidNetlist`] if the netlist fails validation;
+    /// [`BuildError::BudgetExceeded`] if a budget trips in strict mode.
+    ///
+    /// # Examples
+    ///
+    /// A build driven over budget by fault injection degrades instead of
+    /// failing:
+    ///
+    /// ```
+    /// use charfree_core::ModelBuilder;
+    /// use charfree_netlist::{benchmarks, Library};
+    ///
+    /// let library = Library::test_library();
+    /// let netlist = benchmarks::cm85(&library);
+    /// let model = ModelBuilder::new(&netlist)
+    ///     .node_budget(400)
+    ///     .trip_after(50)
+    ///     .try_build()
+    ///     .expect("degrades, never fails");
+    /// let report = model.degradation().expect("the trip fired a rung");
+    /// assert!(!report.rungs.is_empty());
+    /// ```
+    pub fn try_build(self) -> Result<AddPowerModel, BuildError> {
+        self.netlist.validate().map_err(BuildError::InvalidNetlist)?;
         let trace = std::env::var_os("CHARFREE_BUILD_TRACE").is_some();
         let start = Instant::now();
-        let n = self.netlist.num_inputs();
-        let input_slots = self.resolve_input_slots();
-        let mut m = Manager::new(2 * n as u32);
-        for i in 0..n {
-            let name = self.netlist.signal_name(self.netlist.inputs()[i]);
-            let slot = input_slots[i];
-            m.set_var_name(self.ordering.xi_var(slot, n), format!("{name}^i"));
-            m.set_var_name(self.ordering.xf_var(slot, n), format!("{name}^f"));
+
+        let mut budget = Budget::unlimited();
+        if let Some(nodes) = self.node_budget {
+            budget = budget.with_max_live_nodes(nodes);
         }
+        if let Some(timeout) = self.time_budget {
+            budget = budget.with_deadline(timeout);
+        }
+        if let Some(steps) = self.step_budget {
+            budget = budget.with_max_apply_steps(steps);
+        }
+        if let Some(token) = &self.cancel {
+            budget = budget.with_cancel_token(token.clone());
+        }
+        for &trip in &self.trips {
+            budget = budget.trip_after(trip);
+        }
+        // Size ceiling the *finished* model must respect: the explicit
+        // approximation target if given, else the construction budget.
+        let cap = self
+            .max_nodes
+            .or(self.node_budget.map(|v| (v as usize).max(1)));
+
+        let n = self.netlist.num_inputs();
+        let mut input_slots = self.resolve_input_slots();
+        let mut m = Manager::new(2 * n as u32);
+        name_transition_vars(self.netlist, self.ordering, &input_slots, &mut m);
 
         // Node-function BDDs per signal, over the xi and xf variable blocks.
         let mut sig_i: Vec<Option<Bdd>> = vec![None; self.netlist.num_signals()];
@@ -261,111 +407,241 @@ impl<'a> ModelBuilder<'a> {
         // Σⱼ Cⱼ·P_t(riseⱼ), accumulated gate by gate for recalibration
         // (during this build and any later `shrink`).
         let mut exact_means = ExactMeans(vec![0.0; mixture.len()]);
-        for (gate_no, (_, gate)) in self.netlist.gates().enumerate() {
-            let pins_i: Vec<Bdd> = gate
-                .inputs()
-                .iter()
-                .map(|s| sig_i[s.index()].expect("topological order"))
-                .collect();
-            let pins_f: Vec<Bdd> = gate
-                .inputs()
-                .iter()
-                .map(|s| sig_f[s.index()].expect("topological order"))
-                .collect();
-            let gi = gate_bdd(&mut m, gate.kind(), &pins_i);
-            let gf = gate_bdd(&mut m, gate.kind(), &pins_f);
-            sig_i[gate.output().index()] = Some(gi);
-            sig_f[gate.output().index()] = Some(gf);
 
-            // deltaC = (NOT g(xi)) AND g(xf), scaled by the load.
-            let not_gi = m.bdd_not(gi);
-            let rise = m.bdd_and(not_gi, gf);
-            if self.recalibrate {
-                for ((measure, _), mean) in mixture.iter().zip(&mut exact_means.0) {
-                    let profile = m.add_measured_profile(rise.as_add(), measure);
-                    *mean += gate.load().femtofarads()
-                        * profile[&rise.node()].stats.avg;
-                }
-            }
-            let mut delta = m.add_scale(rise.as_add(), gate.load().femtofarads());
-            // Working slack: let intermediates grow to 2×MAX before
-            // collapsing back to MAX. Halves the number of approximation
-            // passes (their cost dominates large builds) without changing
-            // the final budget, which the post-loop pass enforces.
-            if let Some(max) = self.max_nodes {
-                if m.size(delta.node()) > 2 * max {
-                    let (d, out) =
-                        approximate_to_mixture(&mut m, delta, max, self.strategy, &mixture);
-                    delta = d;
-                    rounds += out.rounds;
-                    collapsed += out.nodes_collapsed;
-                }
-            }
-            // Carry-propagate the new contribution through the counter.
-            let mut cur = delta;
-            let mut rank = 0usize;
-            loop {
-                if rank == pending.len() {
-                    pending.push(None);
-                }
-                match pending[rank].take() {
-                    None => {
-                        pending[rank] = Some(cur);
-                        break;
-                    }
-                    Some(other) => {
-                        cur = merge_bounded(
-                            &mut m,
-                            other,
-                            cur,
-                            self.max_nodes,
-                            quantum,
-                            self.strategy,
-                            &mixture,
-                            &mut rounds,
-                            &mut collapsed,
-                        );
-                        rank += 1;
+        // Degradation-ladder state.
+        let mut deg = DegradationReport {
+            node_budget: self.node_budget,
+            ..DegradationReport::default()
+        };
+        let gate_ids: Vec<_> = self.netlist.gates().map(|(id, _)| id).collect();
+        let mut retries = vec![0usize; gate_ids.len()];
+        let mut reorderings = 0usize;
+        let mut constant_tail = 0.0f64;
+        let mut gates_folded = 0usize;
+
+        let mut gate_no = 0usize;
+        while gate_no < gate_ids.len() {
+            let gate = self.netlist.gate(gate_ids[gate_no]);
+
+            // Phase A (retriable): node functions and the scaled rise ADD.
+            // Nothing is committed on failure — recalibration means land in
+            // a local buffer and the signal tables are written only on
+            // success, so a remediated retry starts clean.
+            let attempt = (|m: &mut Manager,
+                            rounds: &mut usize,
+                            collapsed: &mut usize|
+             -> Result<(Bdd, Bdd, Add, Vec<f64>), DdError> {
+                let pins_i: Vec<Bdd> = gate
+                    .inputs()
+                    .iter()
+                    .map(|s| sig_i[s.index()].expect("topological order"))
+                    .collect();
+                let pins_f: Vec<Bdd> = gate
+                    .inputs()
+                    .iter()
+                    .map(|s| sig_f[s.index()].expect("topological order"))
+                    .collect();
+                let gi = try_gate_bdd(m, gate.kind(), &pins_i, &budget)?;
+                let gf = try_gate_bdd(m, gate.kind(), &pins_f, &budget)?;
+
+                // deltaC = (NOT g(xi)) AND g(xf), scaled by the load.
+                let not_gi = m.try_bdd_not(gi, &budget)?;
+                let rise = m.try_bdd_and(not_gi, gf, &budget)?;
+                let mut means = vec![0.0f64; mixture.len()];
+                if self.recalibrate {
+                    for ((measure, _), mean) in mixture.iter().zip(&mut means) {
+                        let profile = m.add_measured_profile(rise.as_add(), measure);
+                        *mean += gate.load().femtofarads() * profile[&rise.node()].stats.avg;
                     }
                 }
-            }
+                let mut delta =
+                    m.try_add_scale(rise.as_add(), gate.load().femtofarads(), &budget)?;
+                // Working slack: let intermediates grow to 2×cap before
+                // collapsing back. Halves the number of approximation
+                // passes (their cost dominates large builds) without
+                // changing the final budget, which the post-loop pass
+                // enforces.
+                if let Some(max) = cap {
+                    if m.size(delta.node()) > 2 * max {
+                        let (d, out) =
+                            approximate_to_mixture(m, delta, max, self.strategy, &mixture);
+                        delta = d;
+                        *rounds += out.rounds;
+                        *collapsed += out.nodes_collapsed;
+                    }
+                }
+                Ok((gi, gf, delta, means))
+            })(&mut m, &mut rounds, &mut collapsed);
 
-            // Release node functions that no later gate consumes.
-            for &s in gate.inputs() {
-                let u = &mut uses[s.index()];
-                *u -= 1;
-                if *u == 0 {
-                    sig_i[s.index()] = None;
-                    sig_f[s.index()] = None;
+            let (err, contribution_committed) = match attempt {
+                Ok((gi, gf, delta, means)) => {
+                    sig_i[gate.output().index()] = Some(gi);
+                    sig_f[gate.output().index()] = Some(gf);
+                    for (acc, d) in exact_means.0.iter_mut().zip(&means) {
+                        *acc += d;
+                    }
+
+                    // Phase B: carry-propagate the contribution through the
+                    // binary counter (see the comment on `pending` above).
+                    let mut committed = Ok(());
+                    let mut cur = delta;
+                    let mut rank = 0usize;
+                    loop {
+                        if rank == pending.len() {
+                            pending.push(None);
+                        }
+                        match pending[rank].take() {
+                            None => {
+                                pending[rank] = Some(cur);
+                                break;
+                            }
+                            Some(other) => match try_merge_bounded(
+                                &mut m,
+                                other,
+                                cur,
+                                cap,
+                                quantum,
+                                self.strategy,
+                                &mixture,
+                                &mut rounds,
+                                &mut collapsed,
+                                &budget,
+                            ) {
+                                Ok(merged) => {
+                                    cur = merged;
+                                    rank += 1;
+                                }
+                                Err(e) => {
+                                    // Both operands remain valid diagrams;
+                                    // stash them so the represented total is
+                                    // unchanged, then let the ladder
+                                    // remediate. The gate itself is done.
+                                    pending[rank] = Some(other);
+                                    pending.push(Some(cur));
+                                    committed = Err(e);
+                                    break;
+                                }
+                            },
+                        }
+                    }
+
+                    // Release node functions that no later gate consumes.
+                    for &s in gate.inputs() {
+                        let u = &mut uses[s.index()];
+                        *u -= 1;
+                        if *u == 0 {
+                            sig_i[s.index()] = None;
+                            sig_f[s.index()] = None;
+                        }
+                    }
+                    m.clear_caches();
+
+                    match committed {
+                        Ok(()) => {
+                            if (gate_no + 1).is_multiple_of(self.compact_every) {
+                                compact_live(&mut m, &mut sig_i, &mut sig_f, &mut pending);
+                            }
+                            if trace && gate_no % 25 == 24 {
+                                eprintln!(
+                                    "[build] gate {}/{} arena={} pending={:?} elapsed={:.1}s",
+                                    gate_no + 1,
+                                    self.netlist.num_gates(),
+                                    m.arena_len(),
+                                    pending
+                                        .iter()
+                                        .map(|p| p.map(|a| m.size(a.node())).unwrap_or(0))
+                                        .collect::<Vec<_>>(),
+                                    start.elapsed().as_secs_f64()
+                                );
+                            }
+                            gate_no += 1;
+                            continue;
+                        }
+                        Err(e) => (e, true),
+                    }
+                }
+                Err(e) => (e, false),
+            };
+
+            // A budget trip: strict mode errors out, otherwise the ladder
+            // picks a remediation rung.
+            if self.strict {
+                return Err(err.into());
+            }
+            let DdError::BudgetExceeded { resource, .. } = err else {
+                return Err(err.into());
+            };
+            deg.first_trip.get_or_insert(resource);
+            retries[gate_no] += 1;
+            // Time, step and cancellation exhaustion are terminal: a retry
+            // would trip again immediately, so jump to the last rung.
+            let terminal = matches!(
+                resource,
+                Resource::WallClock | Resource::Cancelled | Resource::ApplySteps
+            );
+            let reorder_possible =
+                self.ordering == VariableOrdering::Interleaved && reorderings < 2;
+            let rung = if terminal || retries[gate_no] >= 3 {
+                DegradationRung::ConstantFallback
+            } else if retries[gate_no] == 1 {
+                DegradationRung::ShedPartialSums
+            } else if reorder_possible {
+                DegradationRung::ReorderVariables
+            } else {
+                DegradationRung::ConstantFallback
+            };
+            deg.rungs.push(rung);
+            match rung {
+                DegradationRung::ShedPartialSums => {
+                    shed_pending(
+                        &mut m,
+                        &mut pending,
+                        self.node_budget,
+                        self.strategy,
+                        &mixture,
+                        &mut rounds,
+                        &mut collapsed,
+                    );
+                    compact_live(&mut m, &mut sig_i, &mut sig_f, &mut pending);
+                    m.clear_caches();
+                }
+                DegradationRung::ReorderVariables => {
+                    reorderings += 1;
+                    reorder_live(&mut m, &mut sig_i, &mut sig_f, &mut pending, &mut input_slots);
+                    compact_live(&mut m, &mut sig_i, &mut sig_f, &mut pending);
+                    m.clear_caches();
+                    name_transition_vars(self.netlist, self.ordering, &input_slots, &mut m);
+                }
+                DegradationRung::ConstantFallback => {
+                    // Every remaining gate switches at most its own load per
+                    // cycle, so a constant C_j per gate is a valid,
+                    // conservative stand-in for its contribution.
+                    let from = if contribution_committed {
+                        gate_no + 1
+                    } else {
+                        gate_no
+                    };
+                    for &id in &gate_ids[from..] {
+                        constant_tail += self.netlist.gate(id).load().femtofarads();
+                        gates_folded += 1;
+                    }
+                    break;
                 }
             }
-
-            m.clear_caches();
-            if (gate_no + 1) % self.compact_every == 0 {
-                compact_live(&mut m, &mut sig_i, &mut sig_f, &mut pending);
-            }
-            if trace && gate_no % 25 == 24 {
-                eprintln!(
-                    "[build] gate {}/{} arena={} pending={:?} elapsed={:.1}s",
-                    gate_no + 1,
-                    self.netlist.num_gates(),
-                    m.arena_len(),
-                    pending
-                        .iter()
-                        .map(|p| p.map(|a| m.size(a.node())).unwrap_or(0))
-                        .collect::<Vec<_>>(),
-                    start.elapsed().as_secs_f64()
-                );
+            if contribution_committed {
+                gate_no += 1;
             }
         }
 
-        // Fold the counter into the final accumulator.
+        // Fold the counter into the final accumulator. This runs
+        // unbudgeted: a trip here could only re-shed what the ladder
+        // already shed, and the size cap below still applies.
         for slot in pending.into_iter().flatten() {
             c = merge_bounded(
                 &mut m,
                 c,
                 slot,
-                self.max_nodes,
+                cap,
                 quantum,
                 self.strategy,
                 &mixture,
@@ -374,8 +650,8 @@ impl<'a> ModelBuilder<'a> {
             );
         }
 
-        // Enforce the budget exactly before gating/recalibration.
-        if let Some(max) = self.max_nodes {
+        // Enforce the size ceiling exactly before gating/recalibration.
+        if let Some(max) = cap {
             if m.size(c.node()) > max {
                 let (c2, out) = approximate_to_mixture(&mut m, c, max, self.strategy, &mixture);
                 c = c2;
@@ -383,6 +659,8 @@ impl<'a> ModelBuilder<'a> {
                 collapsed += out.nodes_collapsed;
             }
         }
+
+        let fallback_fired = deg.fired(DegradationRung::ConstantFallback);
 
         // Restore exactness on the no-transition diagonal: C(x, x) = 0 for
         // every x (no signal can rise without an input transition), but
@@ -395,17 +673,17 @@ impl<'a> ModelBuilder<'a> {
         // model cannot afford it (and degenerates gracefully). Under the
         // grouped ordering the "any toggle" indicator must remember the
         // whole xⁱ block (up to 2ⁿ nodes) and its product with the model
-        // explodes, so gating is interleaved-only.
+        // explodes, so gating is interleaved-only. Constant-fallback models
+        // skip gating: their constant tail dominates the diagonal anyway
+        // and the product is one more place to blow up.
         let gate_feasible = self.ordering == VariableOrdering::Interleaved
-            && self
-                .max_nodes
-                .map_or(true, |max| max >= 4 * n + 8);
-        if collapsed > 0 && gate_feasible && self.diagonal_gating {
+            && cap.is_none_or(|max| max >= 4 * n + 8);
+        if collapsed > 0 && gate_feasible && self.diagonal_gating && !fallback_fired {
             let toggles = any_toggle_bdd(&mut m, n, self.ordering, &input_slots);
-            let mut target = self.max_nodes.unwrap_or(usize::MAX);
+            let mut target = cap.unwrap_or(usize::MAX);
             loop {
                 let gated = m.add_times(c, toggles.as_add());
-                if self.max_nodes.is_none_or(|max| m.size(gated.node()) <= max) {
+                if cap.is_none_or(|max| m.size(gated.node()) <= max) {
                     c = gated;
                     break;
                 }
@@ -422,29 +700,55 @@ impl<'a> ModelBuilder<'a> {
             }
         }
 
-        if self.recalibrate && collapsed > 0 && self.strategy == ApproxStrategy::Average {
+        if self.recalibrate
+            && collapsed > 0
+            && self.strategy == ApproxStrategy::Average
+            && !fallback_fired
+        {
             c = recalibrate_leaves(&mut m, c, &mixture, &exact_means, 0.05);
         }
         let exact_means = exact_means; // moved into the model below
+
+        // The constant tail goes in *after* the ceiling is enforced:
+        // adding a constant re-labels terminals without changing the
+        // diagram shape, so the size stays within the cap.
+        if constant_tail > 0.0 {
+            let tail = m.constant(constant_tail);
+            c = m.add_plus(c, tail);
+        }
 
         let report = BuildReport {
             approximation_rounds: rounds,
             nodes_collapsed: collapsed,
             final_size: m.size(c.node()),
-            exact: collapsed == 0,
+            exact: collapsed == 0 && !fallback_fired,
             cpu: start.elapsed(),
         };
+        deg.gates_folded = gates_folded;
+        deg.constant_tail_ff = constant_tail;
+        deg.gate_retries = gate_ids
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| retries[i] > 0)
+            .map(|(i, &id)| {
+                let out = self.netlist.gate(id).output();
+                (self.netlist.signal_name(out).to_owned(), retries[i])
+            })
+            .collect();
         // Final cleanup: drop everything but the model itself.
         let roots = m.compact(&[c.node()]);
         let root = Add::from_node(roots[0]);
-        AddPowerModel {
+        deg.final_nodes = m.size(root.node());
+        Ok(AddPowerModel {
             manager: m,
             root,
             num_inputs: n,
             ordering: self.ordering,
             input_slots,
             collapse_mixture: mixture,
-            exact_means: if self.recalibrate {
+            // A fallback model's means are incomplete; recalibrating a
+            // later `shrink` against them would skew the model.
+            exact_means: if self.recalibrate && !fallback_fired {
                 Some(exact_means)
             } else {
                 None
@@ -453,9 +757,10 @@ impl<'a> ModelBuilder<'a> {
                 final_size: 0, // refreshed below
                 ..report
             },
+            degradation: if deg.rungs.is_empty() { None } else { Some(deg) },
             display_name: "ADD".to_owned(),
         }
-        .with_refreshed_size()
+        .with_refreshed_size())
     }
 
     /// Maps every input index to its order slot per the configured
@@ -574,12 +879,116 @@ fn compact_live(
     }
 }
 
-/// Adds two partial sums under the working budget.
+/// (Re)labels the diagram variables with the input signal names —
+/// idempotent, so the degradation ladder can re-run it after a reorder
+/// moves inputs to new slots.
+fn name_transition_vars(
+    netlist: &Netlist,
+    ordering: VariableOrdering,
+    input_slots: &[usize],
+    m: &mut Manager,
+) {
+    let n = netlist.num_inputs();
+    for (i, &slot) in input_slots.iter().enumerate() {
+        let name = netlist.signal_name(netlist.inputs()[i]);
+        m.set_var_name(ordering.xi_var(slot, n), format!("{name}^i"));
+        m.set_var_name(ordering.xf_var(slot, n), format!("{name}^f"));
+    }
+}
+
+/// Degradation rung 1: collapse every pending partial sum well below the
+/// node budget so the retried gate has headroom.
 ///
-/// Summing diagrams over weakly overlapping supports can blow up
-/// multiplicatively (`|A|·|B|` apply cost), so operands are pre-shrunk
-/// until the product of their sizes is bounded; the sum is then quantized
-/// and, if still above the working slack, collapsed back to `max`.
+/// With a node budget the per-sum target splits an eighth of the budget
+/// across the live sums; without one (the trip came from another
+/// resource) each sum is quartered. The floor of 16 nodes keeps even
+/// drastic sheds structurally meaningful.
+#[allow(clippy::too_many_arguments)]
+fn shed_pending(
+    m: &mut Manager,
+    pending: &mut [Option<Add>],
+    node_budget: Option<u64>,
+    strategy: ApproxStrategy,
+    mixture: &[(ChainMeasure, f64)],
+    rounds: &mut usize,
+    collapsed: &mut usize,
+) {
+    let live = pending.iter().flatten().count().max(1);
+    for slot in pending.iter_mut() {
+        if let Some(a) = slot {
+            let size = m.size(a.node());
+            let target = node_budget
+                .map(|nb| ((nb as usize / 8) / live).max(16))
+                .unwrap_or_else(|| (size / 4).max(16));
+            if size > target {
+                let (shrunk, out) = approximate_to_mixture(m, *a, target, strategy, mixture);
+                *slot = Some(shrunk);
+                *rounds += out.rounds;
+                *collapsed += out.nodes_collapsed;
+            }
+        }
+    }
+}
+
+/// Degradation rung 2: search a better variable order on the largest live
+/// diagram and permute every live root (and the input-slot map)
+/// consistently. Interleaved ordering only — the search moves whole
+/// `(xᵢⁱ, xᵢᶠ)` pairs, so the measure mixture (a function of pair
+/// position, not identity) stays valid as-is.
+///
+/// Returns `false` if the search found no improvement (the ladder then
+/// escalates on the next trip).
+fn reorder_live(
+    m: &mut Manager,
+    sig_i: &mut [Option<Bdd>],
+    sig_f: &mut [Option<Bdd>],
+    pending: &mut [Option<Add>],
+    input_slots: &mut [usize],
+) -> bool {
+    let mut probe: Option<NodeId> = None;
+    let mut probe_size = 0usize;
+    for root in pending
+        .iter()
+        .flatten()
+        .map(|a| a.node())
+        .chain(sig_i.iter().flatten().map(|b| b.node()))
+        .chain(sig_f.iter().flatten().map(|b| b.node()))
+    {
+        let s = m.size(root);
+        if s > probe_size {
+            probe_size = s;
+            probe = Some(root);
+        }
+    }
+    let Some(probe) = probe else { return false };
+    let (_, placement) = reorder_paired_windows(m, probe, 2, 1);
+    if placement.iter().enumerate().all(|(p, &to)| p == to) {
+        return false;
+    }
+    // Pair p's content now sits at pair position placement[p].
+    let mut var_perm: Vec<Var> = (0..2 * placement.len() as u32).map(Var).collect();
+    for (p, &to) in placement.iter().enumerate() {
+        var_perm[2 * p] = Var(2 * to as u32);
+        var_perm[2 * p + 1] = Var(2 * to as u32 + 1);
+    }
+    for slot in pending.iter_mut() {
+        if let Some(a) = *slot {
+            *slot = Some(Add::from_node(m.permute(a.node(), &var_perm)));
+        }
+    }
+    for slot in sig_i.iter_mut().chain(sig_f.iter_mut()) {
+        if let Some(b) = *slot {
+            *slot = Some(Bdd::from_node(m.permute(b.node(), &var_perm)));
+        }
+    }
+    for s in input_slots.iter_mut() {
+        *s = placement[*s];
+    }
+    true
+}
+
+/// Adds two partial sums under the working budget (infallible: runs with
+/// an unlimited resource budget).
 #[allow(clippy::too_many_arguments)]
 fn merge_bounded(
     m: &mut Manager,
@@ -592,6 +1001,42 @@ fn merge_bounded(
     rounds: &mut usize,
     collapsed: &mut usize,
 ) -> Add {
+    try_merge_bounded(
+        m,
+        a,
+        b,
+        max_nodes,
+        quantum,
+        strategy,
+        mixture,
+        rounds,
+        collapsed,
+        &Budget::unlimited(),
+    )
+    .expect("unlimited budget cannot be exceeded")
+}
+
+/// Adds two partial sums under the working budget.
+///
+/// Summing diagrams over weakly overlapping supports can blow up
+/// multiplicatively (`|A|·|B|` apply cost), so operands are pre-shrunk
+/// until the product of their sizes is bounded; the sum is then quantized
+/// and, if still above the working slack, collapsed back to `max`. Only
+/// the `add_plus` apply itself can trip the resource budget; the
+/// approximation passes shrink the arena and run to completion.
+#[allow(clippy::too_many_arguments)]
+fn try_merge_bounded(
+    m: &mut Manager,
+    a: Add,
+    b: Add,
+    max_nodes: Option<usize>,
+    quantum: f64,
+    strategy: ApproxStrategy,
+    mixture: &[(ChainMeasure, f64)],
+    rounds: &mut usize,
+    collapsed: &mut usize,
+    budget: &Budget,
+) -> Result<Add, DdError> {
     let (mut a, mut b) = (a, b);
     if let Some(max) = max_nodes {
         // Bound the apply's worst case to a few million node visits.
@@ -612,7 +1057,7 @@ fn merge_bounded(
             }
         }
     }
-    let mut sum = m.add_plus(a, b);
+    let mut sum = m.try_add_plus(a, b, budget)?;
     if max_nodes.is_some() {
         sum = quantize(m, sum, quantum, strategy);
     }
@@ -624,7 +1069,7 @@ fn merge_bounded(
             *collapsed += out.nodes_collapsed;
         }
     }
-    sum
+    Ok(sum)
 }
 
 /// Snaps every terminal to a multiple of `quantum` — round-to-nearest for
@@ -651,8 +1096,7 @@ fn any_toggle_bdd(
     input_slots: &[usize],
 ) -> Bdd {
     let mut any = m.bdd_false();
-    for i in 0..n {
-        let slot = input_slots[i];
+    for &slot in input_slots.iter().take(n) {
         let a = m.bdd_var(ordering.xi_var(slot, n));
         let b = m.bdd_var(ordering.xf_var(slot, n));
         let t = m.bdd_xor(a, b);
@@ -661,65 +1105,70 @@ fn any_toggle_bdd(
     any
 }
 
-/// The BDD of one library cell applied to fan-in BDDs.
-fn gate_bdd(m: &mut Manager, kind: CellKind, pins: &[Bdd]) -> Bdd {
-    match kind {
-        CellKind::Inv => m.bdd_not(pins[0]),
+/// The BDD of one library cell applied to fan-in BDDs, under `budget`.
+fn try_gate_bdd(
+    m: &mut Manager,
+    kind: CellKind,
+    pins: &[Bdd],
+    budget: &Budget,
+) -> Result<Bdd, DdError> {
+    Ok(match kind {
+        CellKind::Inv => m.try_bdd_not(pins[0], budget)?,
         CellKind::Buf => pins[0],
         CellKind::Nand2 => {
-            let a = m.bdd_and(pins[0], pins[1]);
-            m.bdd_not(a)
+            let a = m.try_bdd_and(pins[0], pins[1], budget)?;
+            m.try_bdd_not(a, budget)?
         }
         CellKind::Nand3 => {
-            let a = m.bdd_and(pins[0], pins[1]);
-            let a = m.bdd_and(a, pins[2]);
-            m.bdd_not(a)
+            let a = m.try_bdd_and(pins[0], pins[1], budget)?;
+            let a = m.try_bdd_and(a, pins[2], budget)?;
+            m.try_bdd_not(a, budget)?
         }
         CellKind::Nand4 => {
-            let a = m.bdd_and(pins[0], pins[1]);
-            let b = m.bdd_and(pins[2], pins[3]);
-            let a = m.bdd_and(a, b);
-            m.bdd_not(a)
+            let a = m.try_bdd_and(pins[0], pins[1], budget)?;
+            let b = m.try_bdd_and(pins[2], pins[3], budget)?;
+            let a = m.try_bdd_and(a, b, budget)?;
+            m.try_bdd_not(a, budget)?
         }
         CellKind::Nor2 => {
-            let a = m.bdd_or(pins[0], pins[1]);
-            m.bdd_not(a)
+            let a = m.try_bdd_or(pins[0], pins[1], budget)?;
+            m.try_bdd_not(a, budget)?
         }
         CellKind::Nor3 => {
-            let a = m.bdd_or(pins[0], pins[1]);
-            let a = m.bdd_or(a, pins[2]);
-            m.bdd_not(a)
+            let a = m.try_bdd_or(pins[0], pins[1], budget)?;
+            let a = m.try_bdd_or(a, pins[2], budget)?;
+            m.try_bdd_not(a, budget)?
         }
         CellKind::Nor4 => {
-            let a = m.bdd_or(pins[0], pins[1]);
-            let b = m.bdd_or(pins[2], pins[3]);
-            let a = m.bdd_or(a, b);
-            m.bdd_not(a)
+            let a = m.try_bdd_or(pins[0], pins[1], budget)?;
+            let b = m.try_bdd_or(pins[2], pins[3], budget)?;
+            let a = m.try_bdd_or(a, b, budget)?;
+            m.try_bdd_not(a, budget)?
         }
-        CellKind::And2 => m.bdd_and(pins[0], pins[1]),
+        CellKind::And2 => m.try_bdd_and(pins[0], pins[1], budget)?,
         CellKind::And3 => {
-            let a = m.bdd_and(pins[0], pins[1]);
-            m.bdd_and(a, pins[2])
+            let a = m.try_bdd_and(pins[0], pins[1], budget)?;
+            m.try_bdd_and(a, pins[2], budget)?
         }
-        CellKind::Or2 => m.bdd_or(pins[0], pins[1]),
+        CellKind::Or2 => m.try_bdd_or(pins[0], pins[1], budget)?,
         CellKind::Or3 => {
-            let a = m.bdd_or(pins[0], pins[1]);
-            m.bdd_or(a, pins[2])
+            let a = m.try_bdd_or(pins[0], pins[1], budget)?;
+            m.try_bdd_or(a, pins[2], budget)?
         }
-        CellKind::Xor2 => m.bdd_xor(pins[0], pins[1]),
-        CellKind::Xnor2 => m.bdd_xnor(pins[0], pins[1]),
-        CellKind::Mux2 => m.bdd_ite(pins[0], pins[2], pins[1]),
+        CellKind::Xor2 => m.try_bdd_xor(pins[0], pins[1], budget)?,
+        CellKind::Xnor2 => m.try_bdd_xnor(pins[0], pins[1], budget)?,
+        CellKind::Mux2 => m.try_bdd_ite(pins[0], pins[2], pins[1], budget)?,
         CellKind::Aoi21 => {
-            let a = m.bdd_and(pins[0], pins[1]);
-            let o = m.bdd_or(a, pins[2]);
-            m.bdd_not(o)
+            let a = m.try_bdd_and(pins[0], pins[1], budget)?;
+            let o = m.try_bdd_or(a, pins[2], budget)?;
+            m.try_bdd_not(o, budget)?
         }
         CellKind::Oai21 => {
-            let o = m.bdd_or(pins[0], pins[1]);
-            let a = m.bdd_and(o, pins[2]);
-            m.bdd_not(a)
+            let o = m.try_bdd_or(pins[0], pins[1], budget)?;
+            let a = m.try_bdd_and(o, pins[2], budget)?;
+            m.try_bdd_not(a, budget)?
         }
-    }
+    })
 }
 
 #[cfg(test)]

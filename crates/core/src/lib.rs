@@ -68,6 +68,7 @@ mod approx;
 mod baselines;
 mod builder;
 mod calibrate;
+mod degrade;
 mod eval;
 mod linalg;
 mod lut;
@@ -83,9 +84,11 @@ pub use approx::{
 };
 pub use baselines::{ConstantModel, LinearModel, TrainingSet};
 pub use builder::{InputOrder, ModelBuilder};
+pub use charfree_dd::{CancelToken, Resource};
+pub use degrade::{BuildError, DegradationReport, DegradationRung};
 pub use eval::{evaluate, fig7a_grid, Evaluation, Protocol, RunPoint};
 pub use linalg::least_squares;
 pub use lut::LutModel;
 pub use model::{AddPowerModel, BuildReport, PowerModel, VariableOrdering};
-pub use peak::PeakLevel;
+pub use peak::{PeakLevel, Transition};
 pub use rtl::{RtlDesign, RtlError, RtlInstance};

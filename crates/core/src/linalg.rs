@@ -28,9 +28,10 @@ pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
             }
         }
     }
-    for i in 0..k {
-        for j in 0..i {
-            ata[i][j] = ata[j][i];
+    for i in 1..k {
+        let (upper, rest) = ata.split_at_mut(i);
+        for (j, upper_row) in upper.iter().enumerate() {
+            rest[0][j] = upper_row[i];
         }
     }
     let ridge = 1e-9 * (1.0 + ata.iter().enumerate().map(|(i, r)| r[i]).sum::<f64>() / k as f64);
@@ -57,15 +58,18 @@ fn solve(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         b.swap(col, pivot);
         let diag = m[col][col];
         assert!(diag.abs() > 1e-300, "singular system");
-        for row in col + 1..k {
-            let factor = m[row][col] / diag;
+        let b_col = b[col];
+        let (head, tail) = m.split_at_mut(col + 1);
+        let pivot_row = &head[col];
+        for (row, b_row) in tail.iter_mut().zip(b.iter_mut().skip(col + 1)) {
+            let factor = row[col] / diag;
             if factor == 0.0 {
                 continue;
             }
-            for c in col..k {
-                m[row][c] -= factor * m[col][c];
+            for (value, &p) in row.iter_mut().zip(pivot_row.iter()).skip(col) {
+                *value -= factor * p;
             }
-            b[row] -= factor * b[col];
+            *b_row -= factor * b_col;
         }
     }
     // Back substitution.

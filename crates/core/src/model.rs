@@ -139,6 +139,9 @@ pub struct AddPowerModel {
     /// built with recalibration disabled.
     pub(crate) exact_means: Option<crate::calibrate::ExactMeans>,
     pub(crate) report: BuildReport,
+    /// What the degradation ladder gave up, if a resource budget tripped
+    /// during construction (`None` for clean builds).
+    pub(crate) degradation: Option<crate::degrade::DegradationReport>,
     pub(crate) display_name: String,
 }
 
@@ -156,6 +159,14 @@ impl AddPowerModel {
     /// Construction diagnostics.
     pub fn report(&self) -> &BuildReport {
         &self.report
+    }
+
+    /// The degradation report, if a resource budget tripped during
+    /// construction and the build finished on a coarser rung of the
+    /// ladder. `None` means the model is exactly what the configuration
+    /// asked for.
+    pub fn degradation(&self) -> Option<&crate::degrade::DegradationReport> {
+        self.degradation.as_ref()
     }
 
     /// Diagram size in nodes (terminals included, CUDD convention — the

@@ -12,6 +12,9 @@ use crate::model::AddPowerModel;
 use charfree_dd::Bdd;
 use charfree_netlist::units::Capacitance;
 
+/// A transition witness: the `(xⁱ, xᶠ)` pattern pair.
+pub type Transition = (Vec<bool>, Vec<bool>);
+
 /// One level of the model's switched-capacitance spectrum.
 #[derive(Debug, Clone)]
 pub struct PeakLevel {
@@ -71,7 +74,7 @@ impl AddPowerModel {
         &self,
         threshold: Capacitance,
         max_witnesses: usize,
-    ) -> (f64, Vec<(Vec<bool>, Vec<bool>)>) {
+    ) -> (f64, Vec<Transition>) {
         let mut m = self.manager.clone();
         let level = m.add_threshold(self.root, |v| v >= threshold.femtofarads());
         let count = m.sat_count(level);

@@ -227,6 +227,9 @@ impl AddPowerModel {
                 exact,
                 cpu: Duration::from_secs_f64(cpu_secs),
             },
+            // Degradation metadata is build-time diagnostics and is not
+            // persisted; a reloaded model reports a clean build.
+            degradation: None,
             display_name: name,
         })
     }

@@ -188,7 +188,7 @@ mod tests {
                 .filter(|cube| {
                     cube.iter()
                         .zip(&asg)
-                        .all(|(lit, &v)| lit.map_or(true, |l| l == v))
+                        .all(|(lit, &v)| lit.is_none_or(|l| l == v))
                 })
                 .count();
             assert_eq!(matches, usize::from(m.bdd_eval(f, &asg)), "bits={bits:04b}");

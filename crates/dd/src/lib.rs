@@ -56,6 +56,7 @@ pub mod hash;
 pub mod io;
 
 mod abstraction;
+pub mod budget;
 mod collapse;
 mod manager;
 mod node;
@@ -63,6 +64,7 @@ pub mod reorder;
 mod stats;
 
 pub use abstraction::Cubes;
+pub use budget::{Budget, CancelToken, DdError, Resource};
 pub use manager::{Add, Bdd, BinOp, Manager};
 pub use node::{NodeId, Var};
 pub use stats::{AddStats, ChainMeasure, MeasuredNode, NodeStats, VarMeasure};

@@ -1,6 +1,7 @@
 //! The decision-diagram manager: arenas, unique tables, computed tables and
 //! the core `mk` constructor that keeps diagrams reduced and canonical.
 
+use crate::budget::{Budget, DdError};
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::node::{Node, NodeId, Var};
 
@@ -270,6 +271,14 @@ impl Manager {
     /// across *all* diagrams; see [`Manager::size`] for a single diagram.
     pub fn arena_len(&self) -> usize {
         self.nodes.len() + self.terminals.len()
+    }
+
+    /// Approximate arena memory in bytes: node and terminal storage only
+    /// (unique/computed hash tables are not counted). This is the figure
+    /// a [`Budget::with_max_arena_bytes`] limit is checked against.
+    pub fn arena_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.terminals.len() * std::mem::size_of::<f64>()
     }
 
     // ----- terminals -------------------------------------------------------
@@ -588,81 +597,319 @@ impl Manager {
         Bdd(f.0)
     }
 
+    // ----- budgeted (fallible) operations -----------------------------------
+    //
+    // Every potentially explosive operation has a `try_*` twin taking a
+    // `&Budget`; the infallible API above delegates to these with
+    // `Budget::unlimited()`. On `Err`, partially built nodes stay in the
+    // arena as garbage until the next `compact`.
+
+    /// Budgeted [`Manager::bdd_not`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_bdd_not(&mut self, f: Bdd, budget: &Budget) -> Result<Bdd, DdError> {
+        let one = Bdd(self.one);
+        self.try_bdd_xor(f, one, budget)
+    }
+
+    /// Budgeted [`Manager::bdd_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_bdd_and(&mut self, f: Bdd, g: Bdd, budget: &Budget) -> Result<Bdd, DdError> {
+        Ok(Bdd(self.apply_in(BinOp::And, f.0, g.0, budget)?))
+    }
+
+    /// Budgeted [`Manager::bdd_or`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_bdd_or(&mut self, f: Bdd, g: Bdd, budget: &Budget) -> Result<Bdd, DdError> {
+        Ok(Bdd(self.apply_in(BinOp::Or, f.0, g.0, budget)?))
+    }
+
+    /// Budgeted [`Manager::bdd_xor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_bdd_xor(&mut self, f: Bdd, g: Bdd, budget: &Budget) -> Result<Bdd, DdError> {
+        Ok(Bdd(self.apply_in(BinOp::Xor, f.0, g.0, budget)?))
+    }
+
+    /// Budgeted [`Manager::bdd_xnor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_bdd_xnor(&mut self, f: Bdd, g: Bdd, budget: &Budget) -> Result<Bdd, DdError> {
+        let x = self.try_bdd_xor(f, g, budget)?;
+        self.try_bdd_not(x, budget)
+    }
+
+    /// Budgeted [`Manager::bdd_implies`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_bdd_implies(&mut self, f: Bdd, g: Bdd, budget: &Budget) -> Result<Bdd, DdError> {
+        let nf = self.try_bdd_not(f, budget)?;
+        self.try_bdd_or(nf, g, budget)
+    }
+
+    /// Budgeted [`Manager::bdd_diff`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_bdd_diff(&mut self, f: Bdd, g: Bdd, budget: &Budget) -> Result<Bdd, DdError> {
+        let ng = self.try_bdd_not(g, budget)?;
+        self.try_bdd_and(f, ng, budget)
+    }
+
+    /// Budgeted [`Manager::bdd_ite`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_bdd_ite(&mut self, f: Bdd, g: Bdd, h: Bdd, budget: &Budget) -> Result<Bdd, DdError> {
+        Ok(Bdd(self.ite_in(f.0, g.0, h.0, budget)?))
+    }
+
+    /// Budgeted [`Manager::add_apply`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_add_apply(
+        &mut self,
+        op: BinOp,
+        f: Add,
+        g: Add,
+        budget: &Budget,
+    ) -> Result<Add, DdError> {
+        Ok(Add(self.apply_in(op, f.0, g.0, budget)?))
+    }
+
+    /// Budgeted [`Manager::add_plus`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_add_plus(&mut self, f: Add, g: Add, budget: &Budget) -> Result<Add, DdError> {
+        self.try_add_apply(BinOp::Plus, f, g, budget)
+    }
+
+    /// Budgeted [`Manager::add_minus`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_add_minus(&mut self, f: Add, g: Add, budget: &Budget) -> Result<Add, DdError> {
+        self.try_add_apply(BinOp::Minus, f, g, budget)
+    }
+
+    /// Budgeted [`Manager::add_times`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_add_times(&mut self, f: Add, g: Add, budget: &Budget) -> Result<Add, DdError> {
+        self.try_add_apply(BinOp::Times, f, g, budget)
+    }
+
+    /// Budgeted [`Manager::add_min`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_add_min(&mut self, f: Add, g: Add, budget: &Budget) -> Result<Add, DdError> {
+        self.try_add_apply(BinOp::Min, f, g, budget)
+    }
+
+    /// Budgeted [`Manager::add_max`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_add_max(&mut self, f: Add, g: Add, budget: &Budget) -> Result<Add, DdError> {
+        self.try_add_apply(BinOp::Max, f, g, budget)
+    }
+
+    /// Budgeted [`Manager::add_scale`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is NaN.
+    pub fn try_add_scale(&mut self, f: Add, c: f64, budget: &Budget) -> Result<Add, DdError> {
+        let k = self.constant(c);
+        self.try_add_times(f, k, budget)
+    }
+
+    /// Budgeted [`Manager::add_ite`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_add_ite(&mut self, b: Bdd, g: Add, h: Add, budget: &Budget) -> Result<Add, DdError> {
+        Ok(Add(self.ite_in(b.0, g.0, h.0, budget)?))
+    }
+
+    /// Budgeted [`Manager::bdd_exists`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_bdd_exists(&mut self, f: Bdd, var: Var, budget: &Budget) -> Result<Bdd, DdError> {
+        let lo = self.restrict(f.0, var, false);
+        let hi = self.restrict(f.0, var, true);
+        Ok(Bdd(self.apply_in(BinOp::Or, lo, hi, budget)?))
+    }
+
+    /// Budgeted [`Manager::bdd_forall`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_bdd_forall(&mut self, f: Bdd, var: Var, budget: &Budget) -> Result<Bdd, DdError> {
+        let lo = self.restrict(f.0, var, false);
+        let hi = self.restrict(f.0, var, true);
+        Ok(Bdd(self.apply_in(BinOp::And, lo, hi, budget)?))
+    }
+
+    /// Budgeted [`Manager::bdd_compose`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    pub fn try_bdd_compose(
+        &mut self,
+        f: Bdd,
+        var: Var,
+        g: Bdd,
+        budget: &Budget,
+    ) -> Result<Bdd, DdError> {
+        let lo = self.restrict(f.0, var, false);
+        let hi = self.restrict(f.0, var, true);
+        Ok(Bdd(self.ite_in(g.0, hi, lo, budget)?))
+    }
+
+    /// Budgeted [`Manager::permute`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::BudgetExceeded`] when `budget` runs out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != num_vars as usize`.
+    pub fn try_permute(
+        &mut self,
+        f: NodeId,
+        perm: &[Var],
+        budget: &Budget,
+    ) -> Result<NodeId, DdError> {
+        assert_eq!(perm.len(), self.num_vars as usize, "permutation size mismatch");
+        let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        self.permute_rec(f, perm, budget, &mut memo)
+    }
+
     // ----- core recursions --------------------------------------------------
 
+    /// Infallible apply: delegates to the budgeted recursion with an
+    /// unlimited budget, which cannot fail.
     fn apply(&mut self, op: BinOp, f: NodeId, g: NodeId) -> NodeId {
+        self.apply_in(op, f, g, &Budget::unlimited())
+            .expect("unlimited budget cannot be exceeded")
+    }
+
+    fn apply_in(
+        &mut self,
+        op: BinOp,
+        f: NodeId,
+        g: NodeId,
+        budget: &Budget,
+    ) -> Result<NodeId, DdError> {
         // Terminal short-circuits.
         if f.is_terminal() && g.is_terminal() {
             let v = op.eval(self.terminal_value(f), self.terminal_value(g));
-            return self.terminal(v);
+            return Ok(self.terminal(v));
         }
         match op {
             BinOp::And => {
                 if f == self.zero || g == self.zero {
-                    return self.zero;
+                    return Ok(self.zero);
                 }
                 if f == self.one {
-                    return g;
+                    return Ok(g);
                 }
                 if g == self.one {
-                    return f;
+                    return Ok(f);
                 }
                 if f == g {
-                    return f;
+                    return Ok(f);
                 }
             }
             BinOp::Or => {
                 if f == self.one || g == self.one {
-                    return self.one;
+                    return Ok(self.one);
                 }
                 if f == self.zero {
-                    return g;
+                    return Ok(g);
                 }
                 if g == self.zero {
-                    return f;
+                    return Ok(f);
                 }
                 if f == g {
-                    return f;
+                    return Ok(f);
                 }
             }
             BinOp::Xor => {
                 if f == g {
-                    return self.zero;
+                    return Ok(self.zero);
                 }
                 if f == self.zero {
-                    return g;
+                    return Ok(g);
                 }
                 if g == self.zero {
-                    return f;
+                    return Ok(f);
                 }
             }
             BinOp::Plus => {
                 if f == self.zero {
-                    return g;
+                    return Ok(g);
                 }
                 if g == self.zero {
-                    return f;
+                    return Ok(f);
                 }
             }
             BinOp::Minus => {
                 if g == self.zero {
-                    return f;
+                    return Ok(f);
                 }
             }
             BinOp::Times => {
                 if f == self.zero || g == self.zero {
-                    return self.zero;
+                    return Ok(self.zero);
                 }
                 if f == self.one {
-                    return g;
+                    return Ok(g);
                 }
                 if g == self.one {
-                    return f;
+                    return Ok(f);
                 }
             }
             BinOp::Min | BinOp::Max => {
                 if f == g {
-                    return f;
+                    return Ok(f);
                 }
             }
         }
@@ -670,36 +917,57 @@ impl Manager {
         let (a, b) = if op.is_commutative() && g < f { (g, f) } else { (f, g) };
         let key = (op.opcode(), a, b);
         if let Some(&r) = self.cache2.get(&key) {
-            return r;
+            return Ok(r);
         }
+
+        // Recursion checkpoint: this is a cache miss, so real work — and
+        // up to one fresh node — happens past this point.
+        budget.checkpoint(self.arena_len(), self.arena_bytes())?;
 
         let level = self.level(a).min(self.level(b));
         let (a0, a1) = self.expand(a, level);
         let (b0, b1) = self.expand(b, level);
-        let lo = self.apply(op, a0, b0);
-        let hi = self.apply(op, a1, b1);
+        let lo = self.apply_in(op, a0, b0, budget)?;
+        let hi = self.apply_in(op, a1, b1, budget)?;
         let r = self.mk(level, lo, hi);
         self.cache2.insert(key, r);
-        r
+        Ok(r)
     }
 
+    /// Infallible ITE: delegates to the budgeted recursion with an
+    /// unlimited budget, which cannot fail.
     fn ite_rec(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        self.ite_in(f, g, h, &Budget::unlimited())
+            .expect("unlimited budget cannot be exceeded")
+    }
+
+    fn ite_in(
+        &mut self,
+        f: NodeId,
+        g: NodeId,
+        h: NodeId,
+        budget: &Budget,
+    ) -> Result<NodeId, DdError> {
         if f == self.one {
-            return g;
+            return Ok(g);
         }
         if f == self.zero {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g == self.one && h == self.zero {
-            return f;
+            return Ok(f);
         }
         let key = (f, g, h);
         if let Some(&r) = self.cache3.get(&key) {
-            return r;
+            return Ok(r);
         }
+
+        // Recursion checkpoint (cache miss — see `apply_in`).
+        budget.checkpoint(self.arena_len(), self.arena_bytes())?;
+
         let level = self
             .level(f)
             .min(self.level(g))
@@ -707,11 +975,11 @@ impl Manager {
         let (f0, f1) = self.expand(f, level);
         let (g0, g1) = self.expand(g, level);
         let (h0, h1) = self.expand(h, level);
-        let lo = self.ite_rec(f0, g0, h0);
-        let hi = self.ite_rec(f1, g1, h1);
+        let lo = self.ite_in(f0, g0, h0, budget)?;
+        let hi = self.ite_in(f1, g1, h1, budget)?;
         let r = self.mk(level, lo, hi);
         self.cache3.insert(key, r);
-        r
+        Ok(r)
     }
 
     // ----- evaluation & inspection ------------------------------------------
@@ -898,31 +1166,31 @@ impl Manager {
     /// Panics if `perm.len() != num_vars as usize` or `perm` maps a tested
     /// variable out of range.
     pub fn permute(&mut self, f: NodeId, perm: &[Var]) -> NodeId {
-        assert_eq!(perm.len(), self.num_vars as usize, "permutation size mismatch");
-        let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
-        self.permute_rec(f, perm, &mut memo)
+        self.try_permute(f, perm, &Budget::unlimited())
+            .expect("unlimited budget cannot be exceeded")
     }
 
     fn permute_rec(
         &mut self,
         f: NodeId,
         perm: &[Var],
+        budget: &Budget,
         memo: &mut FxHashMap<NodeId, NodeId>,
-    ) -> NodeId {
+    ) -> Result<NodeId, DdError> {
         if f.is_terminal() {
-            return f;
+            return Ok(f);
         }
         if let Some(&r) = memo.get(&f) {
-            return r;
+            return Ok(r);
         }
         let (lo, hi) = self.children(f);
         let v = self.level(f);
-        let lo2 = self.permute_rec(lo, perm, memo);
-        let hi2 = self.permute_rec(hi, perm, memo);
+        let lo2 = self.permute_rec(lo, perm, budget, memo)?;
+        let hi2 = self.permute_rec(hi, perm, budget, memo)?;
         let sel = self.bdd_var(perm[v as usize]);
-        let r = self.ite_rec(sel.0, hi2, lo2);
+        let r = self.ite_in(sel.0, hi2, lo2, budget)?;
         memo.insert(f, r);
-        r
+        Ok(r)
     }
 
     /// Functional composition: `f` with variable `var` replaced by the

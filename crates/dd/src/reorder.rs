@@ -32,7 +32,7 @@ fn permutations(k: usize) -> Vec<Vec<usize>> {
         }
         for i in 0..k {
             heap(items, k - 1, out);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 items.swap(i, k - 1);
             } else {
                 items.swap(0, k - 1);
@@ -133,7 +133,7 @@ pub fn reorder_paired_windows(
     passes: usize,
 ) -> (NodeId, Vec<usize>) {
     assert!((2..=4).contains(&window), "window must be 2..=4");
-    assert!(m.num_vars() % 2 == 0, "paired reordering needs an even variable count");
+    assert!(m.num_vars().is_multiple_of(2), "paired reordering needs an even variable count");
     let pairs = (m.num_vars() / 2) as usize;
     let mut placement: Vec<usize> = (0..pairs).collect();
     let mut root = root;
@@ -301,7 +301,7 @@ mod tests {
             );
         }
         // The placement is a permutation.
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for &p in &placement {
             assert!(!seen[p]);
             seen[p] = true;

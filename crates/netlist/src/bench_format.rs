@@ -200,8 +200,12 @@ fn extract_paren(rest: &str, original: &str, line_no: usize) -> Result<String, B
         return Err(BenchError::Syntax(line_no, format!("bad directive `{original}`")));
     }
     // Use the original (case-preserved) text for the net name.
-    let open = original.find('(').expect("checked");
-    let close = original.rfind(')').expect("checked");
+    let open = original
+        .find('(')
+        .ok_or_else(|| BenchError::Syntax(line_no, format!("bad directive `{original}`")))?;
+    let close = original
+        .rfind(')')
+        .ok_or_else(|| BenchError::Syntax(line_no, format!("bad directive `{original}`")))?;
     Ok(original[open + 1..close].trim().to_owned())
 }
 
@@ -323,9 +327,7 @@ fn elaborate(
 ) -> Result<Netlist, BenchError> {
     let mut driver_of: HashMap<&str, usize> = HashMap::new();
     for (i, d) in defs.iter().enumerate() {
-        if driver_of.insert(d.output.as_str(), i).is_some()
-            || inputs.iter().any(|n| *n == d.output)
-        {
+        if driver_of.insert(d.output.as_str(), i).is_some() || inputs.contains(&d.output) {
             return Err(BenchError::MultipleDrivers(d.output.clone()));
         }
     }

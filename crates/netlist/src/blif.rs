@@ -147,14 +147,19 @@ fn tokenize(text: &str) -> Result<RawModel, BlifError> {
     }
 
     let mut model = RawModel::default();
-    let mut current_names: Option<(usize, Vec<String>, Vec<Cube>, Option<bool>)> = None;
+    // A `.names` block being accumulated: (first line number, signals,
+    // cubes seen so far, output polarity once known).
+    type NamesBlock = (usize, Vec<String>, Vec<Cube>, Option<bool>);
+    let mut current_names: Option<NamesBlock> = None;
 
     fn flush_names(
         model: &mut RawModel,
-        current: &mut Option<(usize, Vec<String>, Vec<Cube>, Option<bool>)>,
+        current: &mut Option<NamesBlock>,
     ) -> Result<(), BlifError> {
-        if let Some((_line, mut sigs, cubes, polarity)) = current.take() {
-            let output = sigs.pop().expect(".names has at least the output");
+        if let Some((line, mut sigs, cubes, polarity)) = current.take() {
+            let Some(output) = sigs.pop() else {
+                return Err(BlifError::Syntax(line, ".names without signals".into()));
+            };
             if cubes.is_empty() {
                 return Err(BlifError::Constant(output));
             }

@@ -31,6 +31,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Parsers must degrade to error values, never panic on malformed input:
+// `.unwrap()` is banned crate-wide; `.expect()` remains available for
+// provably unreachable states and must spell out the invariant.
+#![deny(clippy::unwrap_used)]
 
 pub mod bench_format;
 pub mod benchmarks;

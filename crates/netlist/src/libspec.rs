@@ -94,12 +94,14 @@ pub fn parse(text: &str) -> Result<Library, ParseLibraryError> {
             continue;
         }
         let mut words = line.split_whitespace();
-        let keyword = words.next().expect("non-empty line");
+        let Some(keyword) = words.next() else {
+            continue; // unreachable after the is_empty check, but harmless
+        };
         let parse_cap = |tok: &str| -> Result<Capacitance, ParseLibraryError> {
             let v: f64 = tok
                 .parse()
                 .map_err(|_| ParseLibraryError::BadValue(line_no, tok.to_owned()))?;
-            if !(v >= 0.0) || !v.is_finite() {
+            if v < 0.0 || !v.is_finite() {
                 return Err(ParseLibraryError::BadValue(line_no, tok.to_owned()));
             }
             Ok(Capacitance(v))

@@ -93,6 +93,9 @@ pub enum NetlistError {
     NoOutputs,
     /// A non-input signal has no driver.
     Undriven(String),
+    /// A sum-of-products cover cannot be synthesized into the gate library
+    /// (constant function, tautological cube, or literal/input mismatch).
+    UnsynthesizableCover(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -105,6 +108,9 @@ impl fmt::Display for NetlistError {
             NetlistError::UnknownSignal(n) => write!(f, "unknown signal `{n}`"),
             NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
             NetlistError::Undriven(n) => write!(f, "signal `{n}` has no driver"),
+            NetlistError::UnsynthesizableCover(why) => {
+                write!(f, "unsynthesizable cover: {why}")
+            }
         }
     }
 }

@@ -127,22 +127,28 @@ fn reduce_tree(
 ///
 /// # Errors
 ///
-/// Propagates netlist construction errors. Constant covers are rejected —
-/// the golden model is a pure gate network with no constant generators.
-///
-/// # Panics
-///
-/// Panics if `inputs.len() != sop.num_inputs`.
+/// Propagates netlist construction errors. Degenerate covers —
+/// a constant function, a tautological cube, or an `inputs` slice whose
+/// length disagrees with `sop.num_inputs` — are rejected with
+/// [`NetlistError::UnsynthesizableCover`]: the golden model is a pure
+/// gate network with no constant generators.
 pub fn synthesize_sop(
     netlist: &mut Netlist,
     sop: &Sop,
     inputs: &[SignalId],
 ) -> Result<SignalId, NetlistError> {
-    assert_eq!(inputs.len(), sop.num_inputs, "input count mismatch");
-    assert!(
-        !sop.is_constant(),
-        "constant covers cannot be synthesized into the gate library"
-    );
+    if inputs.len() != sop.num_inputs {
+        return Err(NetlistError::UnsynthesizableCover(format!(
+            "cover ranges over {} inputs but {} signals were supplied",
+            sop.num_inputs,
+            inputs.len()
+        )));
+    }
+    if sop.is_constant() {
+        return Err(NetlistError::UnsynthesizableCover(
+            "constant covers cannot be synthesized into the gate library".to_owned(),
+        ));
+    }
 
     // Shared inverters, created on demand.
     let mut inverted: Vec<Option<SignalId>> = vec![None; inputs.len()];
@@ -169,10 +175,11 @@ pub fn synthesize_sop(
         // A cube with no literals is the constant 1 — the cover is constant
         // and was rejected above unless another cube narrows it; treat a
         // full don't-care cube as constant as well.
-        assert!(
-            !lits.is_empty(),
-            "tautological cube makes the cover constant; not synthesizable"
-        );
+        if lits.is_empty() {
+            return Err(NetlistError::UnsynthesizableCover(
+                "tautological cube makes the cover constant".to_owned(),
+            ));
+        }
         cube_outputs.push(reduce_tree(netlist, lits, CellKind::And2, CellKind::And3)?);
     }
 
@@ -317,7 +324,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "constant")]
     fn constant_cover_rejected() {
         let sop = Sop {
             num_inputs: 2,
@@ -327,6 +333,35 @@ mod tests {
         let mut n = Netlist::new("t");
         let a = n.add_input("a").expect("fresh");
         let b = n.add_input("b").expect("fresh");
-        let _ = synthesize_sop(&mut n, &sop, &[a, b]);
+        let err = synthesize_sop(&mut n, &sop, &[a, b]).expect_err("constant cover");
+        assert!(matches!(err, NetlistError::UnsynthesizableCover(_)));
+        assert!(err.to_string().contains("constant"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_input_count_rejected() {
+        let sop = Sop {
+            num_inputs: 2,
+            cubes: vec![Cube::parse("11").expect("ok")],
+            polarity: true,
+        };
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a").expect("fresh");
+        let err = synthesize_sop(&mut n, &sop, &[a]).expect_err("too few signals");
+        assert!(matches!(err, NetlistError::UnsynthesizableCover(_)));
+    }
+
+    #[test]
+    fn tautological_cube_rejected() {
+        let sop = Sop {
+            num_inputs: 2,
+            cubes: vec![Cube::parse("--").expect("ok")],
+            polarity: true,
+        };
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a").expect("fresh");
+        let b = n.add_input("b").expect("fresh");
+        let err = synthesize_sop(&mut n, &sop, &[a, b]).expect_err("tautology");
+        assert!(err.to_string().contains("tautological"), "{err}");
     }
 }

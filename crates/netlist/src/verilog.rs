@@ -276,9 +276,7 @@ fn elaborate(
     // Single-driver check & index.
     let mut driver_of: HashMap<&str, usize> = HashMap::new();
     for (i, inst) in instances.iter().enumerate() {
-        if driver_of.insert(inst.output.as_str(), i).is_some()
-            || inputs.iter().any(|n| *n == inst.output)
-        {
+        if driver_of.insert(inst.output.as_str(), i).is_some() || inputs.contains(&inst.output) {
             return Err(VerilogError::MultipleDrivers(inst.output.clone()));
         }
     }

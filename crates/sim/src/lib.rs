@@ -45,5 +45,5 @@ pub use patterns::{
     measure_statistics, statistics_grid, ExhaustivePairs, InvalidStatisticsError, MarkovSource,
 };
 pub use trace::EnergyTrace;
-pub use unit_delay::{UnitDelayReport, UnitDelaySim};
+pub use unit_delay::{UnitDelayError, UnitDelayReport, UnitDelaySim};
 pub use zero_delay::ZeroDelaySim;

@@ -14,6 +14,57 @@
 
 use charfree_netlist::units::Capacitance;
 use charfree_netlist::{CellKind, Netlist};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by unit-delay simulation.
+///
+/// A valid combinational netlist always settles within its depth bound, so
+/// these only fire on malformed inputs, on netlists with feedback smuggled
+/// past validation, or when the caller tightens the bounds via
+/// [`UnitDelaySim::with_max_steps`] / [`UnitDelaySim::with_max_events`]
+/// (e.g. as a fault-injection hook in tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitDelayError {
+    /// The pattern width does not match the netlist's input count.
+    PatternWidth {
+        /// Number of primary inputs the netlist has.
+        expected: usize,
+        /// Number of bits the caller supplied.
+        got: usize,
+    },
+    /// The network did not reach a fixed point within the step bound —
+    /// the signature of (emulated) feedback or oscillation.
+    NonSettling {
+        /// The step bound that was exhausted.
+        max_steps: u32,
+    },
+    /// The total number of value-change events exceeded the configured
+    /// cap — the event-queue analogue of an arena overflow.
+    EventOverflow {
+        /// The event cap that was exceeded.
+        max_events: u64,
+    },
+}
+
+impl fmt::Display for UnitDelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitDelayError::PatternWidth { expected, got } => {
+                write!(f, "pattern width mismatch: expected {expected} bits, got {got}")
+            }
+            UnitDelayError::NonSettling { max_steps } => write!(
+                f,
+                "unit-delay network failed to settle within {max_steps} steps"
+            ),
+            UnitDelayError::EventOverflow { max_events } => {
+                write!(f, "event count exceeded the cap of {max_events}")
+            }
+        }
+    }
+}
+
+impl Error for UnitDelayError {}
 
 /// Result of one unit-delay transition simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +101,7 @@ pub struct UnitDelaySim {
     num_signals: usize,
     gates: Vec<(CellKind, Vec<u32>, u32, f64)>,
     max_steps: u32,
+    max_events: u64,
 }
 
 impl UnitDelaySim {
@@ -64,10 +116,8 @@ impl UnitDelaySim {
         for (i, &sig) in netlist.inputs().iter().enumerate() {
             remap[sig.index()] = i as u32;
         }
-        let mut next = netlist.num_inputs() as u32;
-        for (_, gate) in netlist.gates() {
+        for (next, (_, gate)) in (netlist.num_inputs() as u32..).zip(netlist.gates()) {
             remap[gate.output().index()] = next;
-            next += 1;
         }
         let gates = netlist
             .gates()
@@ -85,9 +135,32 @@ impl UnitDelaySim {
             num_signals: netlist.num_signals(),
             gates,
             // A combinational unit-delay network settles within `depth`
-            // steps; use a generous bound and assert on it.
+            // steps; use a generous bound and report non-settlement as an
+            // error rather than asserting.
             max_steps: netlist.depth() + 2,
+            max_events: u64::MAX,
         }
+    }
+
+    /// Overrides the settling bound (default: netlist depth + 2).
+    ///
+    /// Lowering it below the true settling time makes
+    /// [`try_simulate_transition`](Self::try_simulate_transition) return
+    /// [`UnitDelayError::NonSettling`] — useful for exercising the error
+    /// path without constructing a feedback netlist.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u32) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Caps the total number of value-change events per transition
+    /// (default: unlimited). Exceeding it yields
+    /// [`UnitDelayError::EventOverflow`].
+    #[must_use]
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
     }
 
     fn settle(&self, inputs: &[bool]) -> Vec<bool> {
@@ -108,12 +181,39 @@ impl UnitDelaySim {
     /// `xf`, stepping every gate with one unit of delay, until the network
     /// settles.
     ///
+    /// Infallible convenience wrapper over
+    /// [`try_simulate_transition`](Self::try_simulate_transition).
+    ///
     /// # Panics
     ///
-    /// Panics if pattern widths are wrong.
+    /// Panics if pattern widths are wrong, the network does not settle, or
+    /// the event cap is exceeded.
     pub fn simulate_transition(&self, xi: &[bool], xf: &[bool]) -> UnitDelayReport {
-        assert_eq!(xi.len(), self.num_inputs, "pattern width mismatch");
-        assert_eq!(xf.len(), self.num_inputs, "pattern width mismatch");
+        self.try_simulate_transition(xi, xf)
+            .unwrap_or_else(|e| panic!("unit-delay simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`simulate_transition`](Self::simulate_transition):
+    /// returns an error instead of panicking when the pattern width is
+    /// wrong, the network fails to settle within the step bound (feedback
+    /// or oscillation), or the value-change event count exceeds the cap.
+    ///
+    /// # Errors
+    ///
+    /// See [`UnitDelayError`].
+    pub fn try_simulate_transition(
+        &self,
+        xi: &[bool],
+        xf: &[bool],
+    ) -> Result<UnitDelayReport, UnitDelayError> {
+        for pattern in [xi, xf] {
+            if pattern.len() != self.num_inputs {
+                return Err(UnitDelayError::PatternWidth {
+                    expected: self.num_inputs,
+                    got: pattern.len(),
+                });
+            }
+        }
         let mut values = self.settle(xi);
         let initial: Vec<bool> = values.clone();
         // Apply the new inputs instantaneously at t = 0.
@@ -121,7 +221,8 @@ impl UnitDelaySim {
 
         let mut switched = 0.0f64;
         let mut rising_edges = 0u32;
-        let mut settle_time = 0u32;
+        let mut events = 0u64;
+        let mut settled = None;
         let mut pins = Vec::with_capacity(4);
         for step in 1..=self.max_steps {
             let mut next = values.clone();
@@ -133,6 +234,7 @@ impl UnitDelaySim {
                 let o = *out as usize;
                 if v != values[o] {
                     changed = true;
+                    events += 1;
                     if v {
                         switched += load;
                         rising_edges += 1;
@@ -141,15 +243,21 @@ impl UnitDelaySim {
                 next[o] = v;
             }
             values = next;
+            if events > self.max_events {
+                return Err(UnitDelayError::EventOverflow {
+                    max_events: self.max_events,
+                });
+            }
             if !changed {
-                settle_time = step - 1;
+                settled = Some(step - 1);
                 break;
             }
-            assert!(
-                step < self.max_steps,
-                "unit-delay network failed to settle within depth bound"
-            );
         }
+        let Some(settle_time) = settled else {
+            return Err(UnitDelayError::NonSettling {
+                max_steps: self.max_steps,
+            });
+        };
 
         // Zero-delay attribution: gates that finally rose.
         let mut zero_delay = 0.0f64;
@@ -159,12 +267,12 @@ impl UnitDelaySim {
                 zero_delay += load;
             }
         }
-        UnitDelayReport {
+        Ok(UnitDelayReport {
             switched: Capacitance(switched),
             glitch: Capacitance(switched - zero_delay),
             settle_time,
             rising_edges,
-        }
+        })
     }
 }
 
@@ -253,11 +361,63 @@ mod tests {
     }
 
     #[test]
+    fn pattern_width_mismatch_is_an_error() {
+        let ud = UnitDelaySim::new(&paper_unit());
+        let e = ud
+            .try_simulate_transition(&[true], &[false, true])
+            .expect_err("one-bit xi on a two-input unit");
+        assert_eq!(e, UnitDelayError::PatternWidth { expected: 2, got: 1 });
+        assert!(e.to_string().contains("expected 2 bits"));
+    }
+
+    #[test]
+    fn non_settling_bound_is_an_error_not_a_panic() {
+        // A 2-inverter chain needs 2 steps (+1 to observe quiescence) after
+        // an input flip; a bound of 1 cannot settle it.
+        let mut n = charfree_netlist::Netlist::new("chain");
+        let a = n.add_input("a").expect("fresh");
+        let i1 = n.add_gate(CellKind::Inv, &[a]).expect("ok");
+        let i2 = n.add_gate(CellKind::Inv, &[i1]).expect("ok");
+        n.mark_output(i2).expect("ok");
+        n.annotate_loads(&Library::test_library());
+
+        let ud = UnitDelaySim::new(&n).with_max_steps(1);
+        let e = ud
+            .try_simulate_transition(&[false], &[true])
+            .expect_err("bound of 1 must be exhausted");
+        assert_eq!(e, UnitDelayError::NonSettling { max_steps: 1 });
+        // The untightened simulator settles the same transition fine.
+        let ok = UnitDelaySim::new(&n)
+            .try_simulate_transition(&[false], &[true])
+            .expect("default bound suffices");
+        assert!(ok.settle_time <= n.depth() + 1);
+    }
+
+    #[test]
+    fn event_overflow_is_an_error() {
+        let lib = Library::test_library();
+        let n = benchmarks::cm85(&lib);
+        let ud = UnitDelaySim::new(&n).with_max_events(1);
+        let e = ud
+            .try_simulate_transition(&[false; 11], &[true; 11])
+            .expect_err("an all-ones flip moves more than one signal");
+        assert_eq!(e, UnitDelayError::EventOverflow { max_events: 1 });
+        assert!(e.to_string().contains("cap of 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unit-delay simulation failed")]
+    fn infallible_wrapper_panics_with_context() {
+        let ud = UnitDelaySim::new(&paper_unit());
+        let _ = ud.simulate_transition(&[true], &[false]);
+    }
+
+    #[test]
     fn settles_within_depth() {
         let lib = Library::test_library();
         let n = benchmarks::parity(&lib);
         let ud = UnitDelaySim::new(&n);
-        let r = ud.simulate_transition(&vec![false; 16], &vec![true; 16]);
+        let r = ud.simulate_transition(&[false; 16], &[true; 16]);
         assert!(r.settle_time <= n.depth() + 1);
     }
 }

@@ -60,10 +60,8 @@ impl ZeroDelaySim {
         for (i, &sig) in netlist.inputs().iter().enumerate() {
             remap[sig.index()] = i as u32;
         }
-        let mut next = netlist.num_inputs() as u32;
-        for (_, gate) in netlist.gates() {
+        for (next, (_, gate)) in (netlist.num_inputs() as u32..).zip(netlist.gates()) {
             remap[gate.output().index()] = next;
-            next += 1;
         }
         let gates = netlist
             .gates()
@@ -279,14 +277,14 @@ mod tests {
         let mut state = 0xdead_beefu64;
         for slot in 0..64 {
             let mut pat = Vec::with_capacity(n);
-            for i in 0..n {
+            for word in words.iter_mut() {
                 state = state
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
                 let bit = state >> 62 & 1 == 1;
                 pat.push(bit);
                 if bit {
-                    words[i] |= 1u64 << slot;
+                    *word |= 1u64 << slot;
                 }
             }
             scalars.push(pat);

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! charfree model <netlist.{blif,v}> [-o M.cfm] [--max N] [--upper-bound]
-//!                [--library L.lib] [--paper-plain]
+//!                [--library L.lib] [--paper-plain] [--node-budget N]
+//!                [--time-budget SECS] [--strict]
 //! charfree eval <M.cfm> [--vectors N] [--sp P] [--st P] [--vdd V]
 //!                [--period NS] [--seed S]
 //! charfree datasheet <M.cfm> [--top K]
@@ -59,7 +60,8 @@ fn usage(prefix: &str) -> String {
          \n\
          usage:\n\
          \x20 charfree model <netlist.{blif,v}> [-o M.cfm] [--max N] [--upper-bound]\n\
-         \x20                [--library L.lib] [--paper-plain]\n\
+         \x20                [--library L.lib] [--paper-plain] [--node-budget N]\n\
+         \x20                [--time-budget SECS] [--strict]\n\
          \x20 charfree eval <M.cfm> [--vectors N] [--sp P] [--st P] [--vdd V]\n\
          \x20                [--period NS] [--seed S]\n\
          \x20 charfree datasheet <M.cfm> [--top K]\n\
@@ -174,15 +176,28 @@ fn cmd_model(args: &[String]) -> Result<String, CliError> {
     let netlist_path = flags.positional()?;
     let out_path = flags.value("-o")?.map(str::to_owned);
     let max: usize = flags.parse("--max", 0)?;
+    let node_budget: u64 = flags.parse("--node-budget", 0)?;
+    let time_budget: f64 = flags.parse("--time-budget", 0.0)?;
+    let strict = flags.flag("--strict");
     let upper_bound = flags.flag("--upper-bound");
     let paper_plain = flags.flag("--paper-plain");
     flags.finish()?;
+    if time_budget < 0.0 || !time_budget.is_finite() {
+        return Err(format!("bad value `{time_budget}` for `--time-budget`"));
+    }
 
     let netlist = load_netlist(netlist_path, &library)?;
     let mut builder = ModelBuilder::new(&netlist);
     if max > 0 {
         builder = builder.max_nodes(max);
     }
+    if node_budget > 0 {
+        builder = builder.node_budget(node_budget);
+    }
+    if time_budget > 0.0 {
+        builder = builder.time_budget(std::time::Duration::from_secs_f64(time_budget));
+    }
+    builder = builder.strict(strict);
     if upper_bound {
         builder = builder.strategy(ApproxStrategy::UpperBound);
     }
@@ -192,7 +207,7 @@ fn cmd_model(args: &[String]) -> Result<String, CliError> {
             .leaf_recalibration(false)
             .diagonal_gating(false);
     }
-    let mut model = builder.build();
+    let mut model = builder.try_build().map_err(|e| e.to_string())?;
     model.set_name(netlist.name());
 
     let mut report = String::new();
@@ -212,6 +227,9 @@ fn cmd_model(args: &[String]) -> Result<String, CliError> {
         model.average_capacitance().femtofarads(),
         model.max_capacitance().femtofarads()
     );
+    if let Some(degradation) = model.degradation() {
+        let _ = writeln!(report, "warning: {degradation}");
+    }
     match out_path {
         Some(path) => {
             let mut buf = Vec::new();
@@ -487,6 +505,44 @@ mod tests {
             run(&s(&["sim", netlist_path.to_str().expect("utf8"), "--vectors", "500"]))
                 .expect("sim runs");
         assert!(report.contains("gate-level simulation"));
+    }
+
+    #[test]
+    fn node_budget_degrades_and_strict_fails() {
+        let dir = std::env::temp_dir().join("charfree-cli-test-budget");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let netlist_path = dir.join("cm150.blif");
+        fs::write(&netlist_path, run(&s(&["bench", "cm150"])).expect("bench")).expect("write");
+        let path = netlist_path.to_str().expect("utf8");
+
+        // Over-budget build degrades with a warning instead of failing.
+        let report = run(&s(&["model", path, "--node-budget", "300", "--upper-bound"]))
+            .expect("degraded build still succeeds");
+        assert!(report.contains("built power model"), "{report}");
+        assert!(report.contains("warning: degraded build"), "{report}");
+
+        // The same budget in strict mode surfaces the trip as an error.
+        let err = run(&s(&["model", path, "--node-budget", "300", "--strict"]))
+            .expect_err("strict build fails");
+        assert!(err.contains("budget exceeded"), "{err}");
+
+        // An unbudgeted bounded build stays warning-free.
+        let report = run(&s(&["model", path, "--max", "300"])).expect("builds");
+        assert!(!report.contains("warning"), "{report}");
+    }
+
+    #[test]
+    fn time_budget_flag_is_validated() {
+        let dir = std::env::temp_dir().join("charfree-cli-test-budget");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let netlist_path = dir.join("decod.blif");
+        fs::write(&netlist_path, run(&s(&["bench", "decod"])).expect("bench")).expect("write");
+        let path = netlist_path.to_str().expect("utf8");
+        assert!(run(&s(&["model", path, "--time-budget", "-1"])).is_err());
+        assert!(run(&s(&["model", path, "--time-budget", "abc"])).is_err());
+        // A generous deadline leaves a small build untouched.
+        let report = run(&s(&["model", path, "--time-budget", "120"])).expect("builds");
+        assert!(report.contains("(exact)"), "{report}");
     }
 
     #[test]

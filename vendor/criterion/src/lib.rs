@@ -1,0 +1,182 @@
+//! Offline stand-in for the subset of `criterion` 0.5 used by the
+//! workspace benches: `criterion_group!`/`criterion_main!`, `Criterion`,
+//! benchmark groups with `sample_size`/`throughput`, and `Bencher::iter`.
+//!
+//! The build environment has no registry access, so the real crate cannot
+//! be fetched. This harness keeps `cargo bench` runnable: it times each
+//! benchmark over a few adaptively sized batches and prints
+//! mean/min/max per iteration (plus derived throughput when declared).
+//! There is no warm-up modeling, outlier analysis, or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Throughput declaration for a benchmark group; reported as
+/// elements (or bytes) per second next to the timing line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements per
+    /// iteration.
+    Elements(u64),
+    /// The measured routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, retaining per-iteration timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call to page everything in.
+        std::hint::black_box(routine());
+        // Size batches so very fast routines still get stable readings
+        // without making slow (model-construction) routines crawl.
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let once = probe.elapsed();
+        let per_batch = if once < Duration::from_micros(50) {
+            1000
+        } else if once < Duration::from_millis(5) {
+            10
+        } else {
+            1
+        };
+        let batches = 5usize;
+        self.samples.clear();
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_batch);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let mean: Duration =
+            self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{name:<50} {mean:>12.2?} [{min:.2?} .. {max:.2?}]{rate}");
+    }
+}
+
+/// Top-level benchmark driver, one per `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("— {name} —");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes batches
+    /// adaptively instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a single named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runner function named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(10);
+        group.bench_function("in_group", |b| b.iter(|| vec![0u8; 16]));
+        group.finish();
+    }
+}

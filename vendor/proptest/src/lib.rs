@@ -1,0 +1,553 @@
+//! Offline stand-in for the subset of `proptest` 1.x used by this
+//! workspace: the `proptest!`/`prop_oneof!` macros, `Strategy` with
+//! `prop_map`/`prop_recursive`, range and tuple strategies,
+//! `collection::vec`, `prop_assert*`/`prop_assume!` and a deterministic
+//! case runner.
+//!
+//! The build environment has no registry access, so the real crate cannot
+//! be fetched. The trade-offs versus upstream: failures are **not
+//! shrunk** (the failing case's seed and generated values are printed
+//! instead), and random streams are deterministic per test name rather
+//! than persisted in a regressions file. Test semantics — N generated
+//! cases, rejection via `prop_assume!`, failure on the first violated
+//! assertion — are preserved.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+pub mod collection;
+
+/// Deterministic per-case generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed (SplitMix64-expanded
+    /// xoshiro256++).
+    pub fn new(seed: u64) -> Self {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, width)`; rejection-sampled, exactly uniform.
+    pub fn below(&mut self, width: u64) -> u64 {
+        assert!(width > 0, "below(0)");
+        let zone = u64::MAX - u64::MAX % width;
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % width;
+            }
+        }
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// How a generated case ended when it did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the message describes the violation.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case does not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (assumption-violating) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration; only the case count is configurable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A value generator. Unlike upstream there is no value tree / shrinking;
+/// `generate` directly produces a value.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Debug,
+        F: Fn(Self::Value) -> O + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and `f` wraps
+    /// an inner strategy into the composite case, applied up to `depth`
+    /// levels. `desired_size` and `expected_branch` are accepted for
+    /// upstream signature compatibility but only bound, not steer,
+    /// generation.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            // Mixing the leaf back in at every level spreads generated
+            // sizes between single nodes and full-depth trees.
+            let inner = Union::new(vec![leaf.clone(), level]).boxed();
+            level = f(inner).boxed();
+        }
+        level
+    }
+}
+
+/// Type-erased, reference-counted strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Strategy mapping another strategy's values ([`Strategy::prop_map`]).
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between same-valued strategies ([`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A uniform union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.arms.len() as u64) as usize;
+        self.arms[pick].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(width) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Drives one property: generates cases until `config.cases` accepted
+/// cases pass, panicking on the first failure. Deterministic per test
+/// name. Called by the expansion of [`proptest!`]; not meant for direct
+/// use.
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // FNV-1a over the test name keeps streams stable across runs and
+    // independent across tests.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = 100 * config.cases.max(1);
+    let mut case_index = 0u64;
+    while accepted < config.cases {
+        let case_seed = seed ^ case_index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::new(case_seed);
+        case_index += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected >= max_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejected} rejects for {accepted} accepted)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed at case #{case_index} \
+                     (seed {case_seed:#x}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case (without failing the test) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`run_proptest`] over generated arguments.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest($config, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __proptest_rng);)+
+                    let __proptest_case = || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        return ::core::result::Result::Ok(());
+                    };
+                    __proptest_case()
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// The glob-importable surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_cover_bounds() {
+        let mut rng = TestRng::new(1);
+        let s = 3usize..9;
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((3..9).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = TestRng::new(2);
+        let s = prop_oneof![
+            (0u32..4).prop_map(|v| v * 10),
+            (0u32..4).prop_map(|v| v + 100),
+        ];
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v % 10 == 0 || (100..104).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(#[allow(dead_code)] u32),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0u32..5).prop_map(T::Leaf).prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::new(3);
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&Strategy::generate(&s, &mut rng)));
+        }
+        assert!(max_depth > 0, "recursion never fired");
+        assert!(max_depth <= 3, "depth bound violated: {max_depth}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0u32..50, y in 0u32..50) {
+            prop_assume!(x != y);
+            prop_assert!(x < 50 && y < 50);
+            prop_assert_eq!(x + y, y + x, "commutativity for {} {}", x, y);
+        }
+
+        #[test]
+        fn vectors_have_requested_length(v in crate::collection::vec(-1.0..1.0f64, 7)) {
+            prop_assert_eq!(v.len(), 7);
+            for x in v {
+                prop_assert!((-1.0..1.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
