@@ -58,7 +58,7 @@ fn main() {
             max,
             model.size(),
             secs,
-            eval.are_percent(0)
+            eval.are_percent(0).expect("model column")
         );
     }
     println!("\nGraceful degradation: accuracy decays smoothly as the budget shrinks,");

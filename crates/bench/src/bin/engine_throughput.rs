@@ -1,0 +1,103 @@
+//! Regenerates `BENCH_engine.json`: evaluation throughput of the
+//! compiled-kernel engine versus per-pattern arena traversal, per
+//! circuit, with parallel scaling.
+//!
+//! ```text
+//! cargo run --release -p charfree-bench --bin engine_throughput
+//!     [-- circuit ...]  subset of {decod, cm85, cm150, mux}
+//!     [--vectors N]     transitions per circuit (default 20000)
+//!     [--jobs N]        parallel worker count (default 4)
+//!     [--quick]         500 vectors (CI smoke run)
+//!     [-o PATH]         output path (default BENCH_engine.json)
+//! ```
+//!
+//! Every record carries a `parity` flag — the compiled sum is
+//! cross-checked against the arena oracle, so a throughput win can never
+//! silently come from evaluating a different function.
+
+use charfree_core::ModelBuilder;
+use charfree_engine::throughput::{measure, records_to_json};
+use charfree_netlist::{benchmarks, Library, Netlist};
+use charfree_sim::MarkovSource;
+
+/// `(netlist, max_nodes)` per measured circuit; budgets follow the
+/// Table 1 configurations so the kernels are the models the accuracy
+/// experiments actually use.
+fn circuits(library: &Library, filter: &[String]) -> Vec<(Netlist, usize)> {
+    let all = [
+        (benchmarks::decod(library), 0),
+        (benchmarks::cm85(library), 500),
+        (benchmarks::cm150(library), 1000),
+        (benchmarks::mux(library), 1000),
+    ];
+    all.into_iter()
+        .filter(|(n, _)| filter.is_empty() || filter.iter().any(|f| f == n.name()))
+        .collect()
+}
+
+fn main() {
+    let mut vectors = 20_000usize;
+    let mut jobs = 4usize;
+    let mut out = String::from("BENCH_engine.json");
+    let mut filter: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--vectors" => {
+                vectors = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--vectors takes a number");
+            }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs takes a number");
+            }
+            "--quick" => vectors = 500,
+            "-o" => out = args.next().expect("-o takes a path"),
+            name => filter.push(name.to_owned()),
+        }
+    }
+
+    let library = Library::test_library();
+    let mut records = Vec::new();
+    for (netlist, max) in circuits(&library, &filter) {
+        eprintln!(
+            "[run ] {} (n={}, N={}, max={})",
+            netlist.name(),
+            netlist.num_inputs(),
+            netlist.num_gates(),
+            if max == 0 { "exact".to_owned() } else { max.to_string() }
+        );
+        let mut builder = ModelBuilder::new(&netlist);
+        if max > 0 {
+            builder = builder.max_nodes(max);
+        }
+        let mut model = builder.build();
+        model.set_name(netlist.name());
+        let mut source =
+            MarkovSource::new(model.num_inputs(), 0.5, 0.5, 7).expect("feasible statistics");
+        let patterns = source.sequence(vectors.max(2));
+        let record = measure(&model, &patterns, jobs);
+        eprintln!(
+            "       arena {:.0}/s, batch {:.0}/s ({:.1}x), {} jobs {:.0}/s ({:.1}x), parity {}",
+            record.arena_pps,
+            record.batch_pps,
+            record.speedup_batch(),
+            record.jobs,
+            record.parallel_pps,
+            record.speedup_parallel(),
+            record.parity
+        );
+        records.push(record);
+    }
+
+    std::fs::write(&out, records_to_json(&records)).expect("write BENCH_engine.json");
+    println!("wrote {} records to {out}", records.len());
+    if records.iter().any(|r| !r.parity) {
+        eprintln!("error: at least one record failed the arena parity cross-check");
+        std::process::exit(1);
+    }
+}

@@ -38,8 +38,8 @@ fn main() {
     }
     println!(
         "ARE over the sweep: Con = {:.1}%  Lin = {:.1}%  ADD = {:.1}%",
-        eval.are_percent(0),
-        eval.are_percent(1),
-        eval.are_percent(2)
+        eval.are_percent(0).expect("model column"),
+        eval.are_percent(1).expect("model column"),
+        eval.are_percent(2).expect("model column")
     );
 }

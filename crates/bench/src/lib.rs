@@ -139,13 +139,13 @@ pub fn table1_row(
         name: netlist.name().to_owned(),
         inputs: netlist.num_inputs(),
         gates: netlist.num_gates(),
-        con_are: avg_eval.are_percent(0),
-        lin_are: avg_eval.are_percent(1),
-        add_are: avg_eval.are_percent(2),
+        con_are: avg_eval.are_percent(0).expect("model column"),
+        lin_are: avg_eval.are_percent(1).expect("model column"),
+        add_are: avg_eval.are_percent(2).expect("model column"),
         avg_max,
         avg_cpu,
-        ub_con_are: ub_eval.are_percent(0),
-        ub_add_are: ub_eval.are_percent(1),
+        ub_con_are: ub_eval.are_percent(0).expect("model column"),
+        ub_add_are: ub_eval.are_percent(1).expect("model column"),
         ub_max,
         ub_cpu,
     }
@@ -248,10 +248,10 @@ pub fn fig7b(
         points.push(Fig7bPoint {
             max_nodes: budget,
             size: model.size(),
-            are: eval.are_percent(0),
+            are: eval.are_percent(0).expect("model column"),
         });
     }
-    (points, reference.are_percent(0), reference.are_percent(1))
+    (points, reference.are_percent(0).expect("model column"), reference.are_percent(1).expect("model column"))
 }
 
 /// Ablation configurations of DESIGN.md §5 and their AREs on one circuit.
@@ -314,7 +314,7 @@ pub fn ablation(netlist: &Netlist, max_nodes: usize, config: &Config) -> Vec<(St
             Protocol::AveragePower,
             config.seed,
         );
-        results.push((name.to_owned(), eval.are_percent(0)));
+        results.push((name.to_owned(), eval.are_percent(0).expect("model column")));
     }
     results
 }

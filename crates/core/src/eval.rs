@@ -54,13 +54,10 @@ pub struct Evaluation {
 }
 
 impl Evaluation {
-    /// `ARE` of the model at `column`, as a percentage (Table 1 units).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `column` is out of range.
-    pub fn are_percent(&self, column: usize) -> f64 {
-        self.are[column] * 100.0
+    /// `ARE` of the model at `column`, as a percentage (Table 1 units), or
+    /// `None` if `column` is not a model column of this evaluation.
+    pub fn are_percent(&self, column: usize) -> Option<f64> {
+        self.are.get(column).map(|a| a * 100.0)
     }
 }
 
@@ -108,20 +105,20 @@ pub fn evaluate(
             continue;
         }
 
-        // Model estimates over the same transitions.
+        // Model estimates over the same transitions, via the batch entry
+        // point (compiled-kernel models override it with a bulk path).
         let mut estimates = Vec::with_capacity(models.len());
         for model in models {
+            let trace = model.capacitance_trace(&patterns);
+            debug_assert_eq!(trace.len(), patterns.len() - 1);
             let mut sum = 0.0f64;
             let mut max = f64::NEG_INFINITY;
-            for t in 0..patterns.len() - 1 {
-                let c = model
-                    .capacitance(&patterns[t], &patterns[t + 1])
-                    .femtofarads();
+            for &c in &trace {
                 sum += c;
                 max = max.max(c);
             }
             estimates.push(match protocol {
-                Protocol::AveragePower => sum / (patterns.len() - 1) as f64,
+                Protocol::AveragePower => sum / trace.len() as f64,
                 Protocol::MaximumPower => max,
             });
         }
@@ -287,6 +284,8 @@ mod tests {
         let training = TrainingSet::sample(&sim, 1000, 5);
         let con = ConstantModel::fit(&training);
         let eval = evaluate(&[&con], &sim, &[(0.5, 0.5)], 500, Protocol::AveragePower, 6);
-        assert!((eval.are_percent(0) - eval.are[0] * 100.0).abs() < 1e-12);
+        let pct = eval.are_percent(0).expect("column 0 exists");
+        assert!((pct - eval.are[0] * 100.0).abs() < 1e-12);
+        assert!(eval.are_percent(7).is_none(), "out-of-range column is None");
     }
 }

@@ -21,6 +21,24 @@ pub trait PowerModel {
         Energy::from_switched(self.capacitance(xi, xf), vdd)
     }
 
+    /// Predicted switched capacitance (fF) for every consecutive transition
+    /// of a pattern stream: `out[t] = C(patterns[t], patterns[t+1])`.
+    ///
+    /// This is the batch entry point the evaluation sweep and the trace
+    /// paths go through. The default implementation loops over
+    /// [`PowerModel::capacitance`]; implementations with a faster bulk path
+    /// (notably `charfree-engine`'s compiled kernels) override it.
+    ///
+    /// Returns an empty vector for fewer than two patterns.
+    fn capacitance_trace(&self, patterns: &[Vec<bool>]) -> Vec<f64> {
+        if patterns.len() < 2 {
+            return Vec::new();
+        }
+        (0..patterns.len() - 1)
+            .map(|t| self.capacitance(&patterns[t], &patterns[t + 1]).femtofarads())
+            .collect()
+    }
+
     /// Short display name (`Con`, `Lin`, `ADD`, …).
     fn name(&self) -> &str;
 }
@@ -154,6 +172,15 @@ impl AddPowerModel {
     /// The variable ordering the model was built with.
     pub fn ordering(&self) -> VariableOrdering {
         self.ordering
+    }
+
+    /// The input-to-slot permutation: `input_slots()[i]` is the order slot
+    /// of macro input `i` (see `ModelBuilder::input_order`). Together with
+    /// [`AddPowerModel::ordering`] and [`AddPowerModel::diagram`] this is
+    /// everything an external evaluator (e.g. a `charfree-engine` compiled
+    /// kernel) needs to map `(xⁱ, xᶠ)` pairs onto diagram variables.
+    pub fn input_slots(&self) -> &[usize] {
+        &self.input_slots
     }
 
     /// Construction diagnostics.

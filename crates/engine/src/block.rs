@@ -1,0 +1,227 @@
+//! Packed bit-matrix pattern blocks.
+//!
+//! A [`PatternBlock`] stores a stream of `2n`-variable transition
+//! assignments column-packed: one `u64` word per diagram variable per 64
+//! transitions ("lanes"). Lane `t mod 64` of word `words[(t / 64) ·
+//! num_vars + var]` is the value of `var` at transition `t`. The layout
+//! keeps the whole working set of one 64-transition group inside a few
+//! cache lines regardless of stream length, which is what lets
+//! [`Kernel::eval_batch_into`](crate::Kernel::eval_batch_into) stay
+//! memory-bound-friendly.
+
+use crate::kernel::Kernel;
+
+/// A packed block of transition assignments (see module docs).
+#[derive(Debug, Clone)]
+pub struct PatternBlock {
+    num_vars: usize,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl PatternBlock {
+    /// An empty block over `num_vars` diagram variables.
+    pub fn new(num_vars: usize) -> PatternBlock {
+        PatternBlock {
+            num_vars,
+            len: 0,
+            words: Vec::new(),
+        }
+    }
+
+    /// Number of transitions stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no transitions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of diagram variables per transition.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Drops all stored transitions, keeping the allocation (the chunked
+    /// trace paths reuse one block per worker).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.words.clear();
+    }
+
+    /// The `num_vars` packed words of 64-lane group `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is past the last group.
+    #[inline]
+    pub(crate) fn block_words(&self, b: usize) -> &[u64] {
+        &self.words[b * self.num_vars..(b + 1) * self.num_vars]
+    }
+
+    /// Appends one complete diagram-variable assignment as a transition
+    /// lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is narrower than `num_vars`.
+    pub fn push_assignment(&mut self, assignment: &[bool]) {
+        assert!(
+            assignment.len() >= self.num_vars,
+            "assignment narrower than the block"
+        );
+        let lane = self.len % 64;
+        if lane == 0 {
+            self.words.resize(self.words.len() + self.num_vars, 0);
+        }
+        let base = self.words.len() - self.num_vars;
+        for (v, &bit) in assignment.iter().take(self.num_vars).enumerate() {
+            if bit {
+                self.words[base + v] |= 1u64 << lane;
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Appends the `(xi, xf)` transition using `kernel`'s input-to-
+    /// variable maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is narrower than the kernel's variable count or
+    /// the patterns are not `kernel.num_inputs()` wide.
+    pub fn push_transition(&mut self, kernel: &Kernel, xi: &[bool], xf: &[bool]) {
+        assert!(
+            self.num_vars >= kernel.num_vars() as usize,
+            "block narrower than the kernel"
+        );
+        assert_eq!(xi.len(), kernel.num_inputs(), "pattern width mismatch");
+        assert_eq!(xf.len(), kernel.num_inputs(), "pattern width mismatch");
+        let lane = self.len % 64;
+        if lane == 0 {
+            self.words.resize(self.words.len() + self.num_vars, 0);
+        }
+        let base = self.words.len() - self.num_vars;
+        // Branchless: the input bits are data (often random), so an `if`
+        // per bit would mispredict half the time.
+        for i in 0..kernel.num_inputs() {
+            self.words[base + kernel.xi_vars[i] as usize] |= (xi[i] as u64) << lane;
+            self.words[base + kernel.xf_vars[i] as usize] |= (xf[i] as u64) << lane;
+        }
+        self.len += 1;
+    }
+
+    /// Packs the `patterns.len() − 1` consecutive transitions of a pattern
+    /// window (empty for fewer than two patterns).
+    pub fn from_patterns(kernel: &Kernel, patterns: &[Vec<bool>]) -> PatternBlock {
+        let mut block = PatternBlock::new(kernel.num_vars() as usize);
+        block.extend_from_patterns(kernel, patterns);
+        block
+    }
+
+    /// Appends every consecutive transition of a pattern window.
+    ///
+    /// Whole 64-transition groups take a transposed fast path: for each
+    /// input, the 64 initial-state bits are gathered into one register
+    /// word, and the final-state word is the same gather shifted down one
+    /// lane (transition `t`'s final state is transition `t + 1`'s initial
+    /// state) with the window's next pattern filling the top bit. That
+    /// replaces per-bit read-modify-writes of memory with `2n` register
+    /// accumulations per group and no data-dependent branches.
+    pub fn extend_from_patterns(&mut self, kernel: &Kernel, patterns: &[Vec<bool>]) {
+        let total = patterns.len().saturating_sub(1);
+        let mut t = 0usize;
+        // Fast path only from a group boundary (the worker loops clear
+        // and refill, so this is the common case).
+        if self.len.is_multiple_of(64) && self.num_vars == kernel.num_vars() as usize {
+            let n = kernel.num_inputs();
+            let mut acc = vec![0u64; n];
+            while total - t >= 64 {
+                // Row-major accumulation: one pass over the 64 patterns,
+                // each row's bytes read sequentially and or-shifted by a
+                // per-row-constant lane (auto-vectorizable), instead of
+                // 64 strided row revisits per variable.
+                acc.fill(0);
+                let rows = &patterns[t..t + 65];
+                for (q, quad) in rows[..64].chunks_exact(4).enumerate() {
+                    // Four rows per pass over `acc` quarters the
+                    // accumulator load/store traffic and gives the core
+                    // independent byte loads to overlap.
+                    let lane = 4 * q;
+                    let (r0, r1, r2, r3) =
+                        (&quad[0][..n], &quad[1][..n], &quad[2][..n], &quad[3][..n]);
+                    for (i, a) in acc.iter_mut().enumerate() {
+                        *a |= ((r0[i] as u64)
+                            | (r1[i] as u64) << 1
+                            | (r2[i] as u64) << 2
+                            | (r3[i] as u64) << 3)
+                            << lane;
+                    }
+                }
+                self.words.resize(self.words.len() + self.num_vars, 0);
+                let base = self.words.len() - self.num_vars;
+                let last = &rows[64][..n];
+                for i in 0..n {
+                    let wi = acc[i];
+                    let wf = (wi >> 1) | ((last[i] as u64) << 63);
+                    self.words[base + kernel.xi_vars[i] as usize] = wi;
+                    self.words[base + kernel.xf_vars[i] as usize] = wf;
+                }
+                self.len += 64;
+                t += 64;
+            }
+        }
+        while t < total {
+            self.push_transition(kernel, &patterns[t], &patterns[t + 1]);
+            t += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charfree_core::{ModelBuilder, PowerModel};
+    use charfree_netlist::{benchmarks, Library};
+    use charfree_sim::MarkovSource;
+
+    #[test]
+    fn packing_round_trips_through_batch_eval() {
+        let library = Library::test_library();
+        let model = ModelBuilder::new(&benchmarks::cm85(&library)).build();
+        let kernel = Kernel::compile(&model);
+        let mut source = MarkovSource::new(11, 0.5, 0.4, 3).expect("feasible");
+        let patterns = source.sequence(130); // crosses two 64-lane groups
+        let block = PatternBlock::from_patterns(&kernel, &patterns);
+        assert_eq!(block.len(), 129);
+        let got = kernel.eval_batch(&block);
+        for (t, &c) in got.iter().enumerate() {
+            assert_eq!(
+                c.to_bits(),
+                model
+                    .capacitance(&patterns[t], &patterns[t + 1])
+                    .femtofarads()
+                    .to_bits(),
+                "transition {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn clear_reuses_allocation() {
+        let library = Library::test_library();
+        let model = ModelBuilder::new(&benchmarks::decod(&library)).build();
+        let kernel = Kernel::compile(&model);
+        let mut block = PatternBlock::new(kernel.num_vars() as usize);
+        let xi = vec![true; 5];
+        let xf = vec![false; 5];
+        block.push_transition(&kernel, &xi, &xf);
+        assert_eq!(block.len(), 1);
+        block.clear();
+        assert!(block.is_empty());
+        block.push_transition(&kernel, &xi, &xf);
+        assert_eq!(kernel.eval_batch(&block)[0], kernel.eval_transition(&xi, &xf));
+    }
+}

@@ -1,0 +1,108 @@
+//! [`CompiledModel`] — the [`PowerModel`] face of a compiled kernel.
+//!
+//! The evaluation sweep in `charfree-core` and the CLI trace paths talk
+//! to `dyn PowerModel`. Wrapping a [`Kernel`] in a [`CompiledModel`]
+//! routes those call sites through the flat-kernel fast path — scalar
+//! lookups through [`Kernel::eval_transition`] and whole traces through
+//! the batched, multi-threaded [`TraceEngine`] — without the core crate
+//! ever depending on this one.
+
+use crate::engine::TraceEngine;
+use crate::kernel::Kernel;
+use charfree_core::{AddPowerModel, PowerModel};
+use charfree_netlist::units::Capacitance;
+
+/// A compiled power model: a [`Kernel`] plus a worker-count policy,
+/// usable anywhere a [`PowerModel`] is expected.
+///
+/// The arena-backed [`AddPowerModel`] stays available as the reference
+/// oracle; this adapter is what production evaluation paths hand around.
+///
+/// # Examples
+///
+/// ```
+/// use charfree_core::{ModelBuilder, PowerModel};
+/// use charfree_engine::CompiledModel;
+/// use charfree_netlist::benchmarks::paper_unit;
+///
+/// let model = ModelBuilder::new(&paper_unit()).build();
+/// let compiled = CompiledModel::compile(&model);
+/// assert_eq!(
+///     compiled.capacitance(&[true, true], &[false, false]).femtofarads(),
+///     model.capacitance(&[true, true], &[false, false]).femtofarads(),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    kernel: Kernel,
+    jobs: usize,
+}
+
+impl CompiledModel {
+    /// Compiles `model` into a kernel-backed power model (single worker;
+    /// see [`CompiledModel::with_jobs`]).
+    pub fn compile(model: &AddPowerModel) -> CompiledModel {
+        CompiledModel::from_kernel(Kernel::compile(model))
+    }
+
+    /// Wraps an already-compiled (or loaded) kernel.
+    pub fn from_kernel(kernel: Kernel) -> CompiledModel {
+        CompiledModel { kernel, jobs: 1 }
+    }
+
+    /// Sets the worker count used by [`PowerModel::capacitance_trace`]
+    /// (`0` = one per available core). Results are bit-identical for any
+    /// value.
+    pub fn with_jobs(mut self, jobs: usize) -> CompiledModel {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The underlying kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Consumes the adapter, returning the kernel.
+    pub fn into_kernel(self) -> Kernel {
+        self.kernel
+    }
+}
+
+impl PowerModel for CompiledModel {
+    fn capacitance(&self, xi: &[bool], xf: &[bool]) -> Capacitance {
+        Capacitance(self.kernel.eval_transition(xi, xf))
+    }
+
+    fn capacitance_trace(&self, patterns: &[Vec<bool>]) -> Vec<f64> {
+        TraceEngine::new(&self.kernel).jobs(self.jobs).trace(patterns)
+    }
+
+    fn name(&self) -> &str {
+        self.kernel.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charfree_core::ModelBuilder;
+    use charfree_netlist::{benchmarks, Library};
+    use charfree_sim::MarkovSource;
+
+    #[test]
+    fn trace_override_matches_default_loop_bit_for_bit() {
+        let library = Library::test_library();
+        let model = ModelBuilder::new(&benchmarks::cm85(&library)).build();
+        let compiled = CompiledModel::compile(&model).with_jobs(3);
+        let mut source = MarkovSource::new(11, 0.5, 0.3, 17).expect("feasible");
+        let patterns = source.sequence(300);
+        let fast = compiled.capacitance_trace(&patterns);
+        let slow = model.capacitance_trace(&patterns);
+        assert_eq!(fast.len(), slow.len());
+        for (t, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "transition {t}");
+        }
+        assert_eq!(compiled.name(), model.name());
+    }
+}

@@ -1,0 +1,371 @@
+//! Batched, multi-threaded trace evaluation.
+//!
+//! [`TraceEngine`] shards a transition stream into fixed-size chunks,
+//! fans the chunks out over `std::thread::scope` workers (static
+//! round-robin assignment, no locks in the hot path), and merges the
+//! per-chunk partial sums/maxima **in chunk order**. Chunk boundaries
+//! depend only on the configured chunk size — never on the worker count —
+//! so `--jobs 1` and `--jobs 8` produce bit-identical sums and maxima.
+//!
+//! The streaming mode ([`TraceEngine::evaluate_stream`]) additionally
+//! bounds residency: patterns are drawn from an iterator one fixed-size
+//! window at a time (carrying a one-pattern overlap between windows), so
+//! traces never need to be fully resident.
+
+use crate::block::PatternBlock;
+use crate::kernel::Kernel;
+
+/// Transitions per work chunk. Small enough to load-balance, large
+/// enough to amortize per-chunk packing; also the unit of deterministic
+/// merging.
+const DEFAULT_CHUNK: usize = 4096;
+
+/// Windows of the streaming mode span this many chunks regardless of the
+/// worker count, keeping stream summaries independent of `jobs` too.
+const STREAM_CHUNKS_PER_WINDOW: usize = 8;
+
+/// Deterministic reduction of one evaluated trace: count, sum and
+/// maximum of the per-transition switched capacitance (fF).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSummary {
+    /// Number of transitions evaluated.
+    pub transitions: usize,
+    /// Sum of the per-transition switched capacitance (fF).
+    pub sum_ff: f64,
+    /// Maximum per-transition switched capacitance (fF);
+    /// `f64::NEG_INFINITY` for an empty trace.
+    pub max_ff: f64,
+}
+
+impl TraceSummary {
+    fn empty() -> TraceSummary {
+        TraceSummary {
+            transitions: 0,
+            sum_ff: 0.0,
+            max_ff: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Mean switched capacitance (fF) per transition (NaN when empty).
+    pub fn mean_ff(&self) -> f64 {
+        self.sum_ff / self.transitions as f64
+    }
+
+    /// Folds `other` into `self` (ordered merge — callers merge in chunk
+    /// order to stay deterministic).
+    fn absorb(&mut self, other: TraceSummary) {
+        self.transitions += other.transitions;
+        self.sum_ff += other.sum_ff;
+        self.max_ff = self.max_ff.max(other.max_ff);
+    }
+}
+
+/// A multi-threaded evaluator over one compiled [`Kernel`].
+///
+/// # Examples
+///
+/// ```
+/// use charfree_core::ModelBuilder;
+/// use charfree_engine::{Kernel, TraceEngine};
+/// use charfree_netlist::{benchmarks, Library};
+/// use charfree_sim::MarkovSource;
+///
+/// let library = Library::test_library();
+/// let model = ModelBuilder::new(&benchmarks::cm85(&library)).build();
+/// let kernel = Kernel::compile(&model);
+/// let mut source = MarkovSource::new(11, 0.5, 0.5, 1).unwrap();
+/// let patterns = source.sequence(1000);
+///
+/// let summary = TraceEngine::new(&kernel).jobs(2).evaluate(&patterns);
+/// assert_eq!(summary.transitions, 999);
+/// assert!(summary.max_ff >= summary.mean_ff());
+/// ```
+#[derive(Debug)]
+pub struct TraceEngine<'k> {
+    kernel: &'k Kernel,
+    jobs: usize,
+    chunk: usize,
+}
+
+impl<'k> TraceEngine<'k> {
+    /// A single-threaded engine over `kernel` with the default chunk
+    /// size.
+    pub fn new(kernel: &'k Kernel) -> TraceEngine<'k> {
+        TraceEngine {
+            kernel,
+            jobs: 1,
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    /// Sets the worker count. `0` means "use the machine's available
+    /// parallelism".
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            jobs
+        };
+        self
+    }
+
+    /// Sets the chunk size (transitions per work unit). Results are
+    /// identical for any chunk-size/worker combination except for the
+    /// floating-point association of partial sums, which is fixed by the
+    /// chunk size alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        self.chunk = chunk;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Evaluates the `patterns.len() − 1` transitions of a resident
+    /// pattern sequence to a deterministic [`TraceSummary`].
+    pub fn evaluate(&self, patterns: &[Vec<bool>]) -> TraceSummary {
+        let mut total = TraceSummary::empty();
+        for p in self.chunk_partials(patterns) {
+            total.absorb(p);
+        }
+        total
+    }
+
+    /// Evaluates a resident pattern sequence to the full per-transition
+    /// capacitance trace (fF), sharded across workers.
+    pub fn trace(&self, patterns: &[Vec<bool>]) -> Vec<f64> {
+        if patterns.len() < 2 {
+            return Vec::new();
+        }
+        let transitions = patterns.len() - 1;
+        let mut out = vec![0.0f64; transitions];
+        {
+            let slices: Vec<(usize, &mut [f64])> =
+                out.chunks_mut(self.chunk).enumerate().collect();
+            let kernel = self.kernel;
+            let chunk = self.chunk;
+            let jobs = self.jobs.min(slices.len()).max(1);
+            let run = move |work: Vec<(usize, &mut [f64])>| {
+                let mut block = PatternBlock::new(kernel.num_vars() as usize);
+                for (ci, slice) in work {
+                    let start = ci * chunk;
+                    let end = (start + chunk).min(transitions);
+                    block.clear();
+                    block.extend_from_patterns(kernel, &patterns[start..=end]);
+                    kernel.eval_batch_into(&block, slice);
+                }
+            };
+            if jobs == 1 {
+                // One worker: run inline, no thread spawn.
+                run(slices);
+            } else {
+                let mut per_worker: Vec<Vec<(usize, &mut [f64])>> =
+                    (0..jobs).map(|_| Vec::new()).collect();
+                for (i, s) in slices {
+                    per_worker[i % jobs].push((i, s));
+                }
+                std::thread::scope(|scope| {
+                    for work in per_worker {
+                        scope.spawn(|| run(work));
+                    }
+                });
+            }
+        }
+        out
+    }
+
+    /// Evaluates a pattern *stream* without keeping it resident: patterns
+    /// are pulled one fixed-size window at a time (a whole number of
+    /// chunks, independent of the worker count), each window is sharded
+    /// like [`TraceEngine::evaluate`], and the last pattern of a window
+    /// seeds the next one so no transition is dropped. Window boundaries
+    /// coincide with chunk boundaries and partials are folded in global
+    /// chunk order, so the summary is bit-identical to the resident path
+    /// for any worker count.
+    pub fn evaluate_stream<I>(&self, patterns: I) -> TraceSummary
+    where
+        I: IntoIterator<Item = Vec<bool>>,
+    {
+        let window_transitions = self.chunk * STREAM_CHUNKS_PER_WINDOW;
+        let mut iter = patterns.into_iter();
+        let mut window: Vec<Vec<bool>> = Vec::with_capacity(window_transitions + 1);
+        let mut total = TraceSummary::empty();
+        loop {
+            while window.len() < window_transitions + 1 {
+                match iter.next() {
+                    Some(p) => window.push(p),
+                    None => break,
+                }
+            }
+            if window.len() < 2 {
+                break;
+            }
+            for p in self.chunk_partials(&window) {
+                total.absorb(p);
+            }
+            let exhausted = window.len() < window_transitions + 1;
+            let carry = window.pop().expect("window is non-empty");
+            window.clear();
+            window.push(carry);
+            if exhausted {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Evaluates every `self.chunk`-sized chunk of the sequence's
+    /// transitions across the configured workers and returns the partial
+    /// summaries in chunk order.
+    fn chunk_partials(&self, patterns: &[Vec<bool>]) -> Vec<TraceSummary> {
+        if patterns.len() < 2 {
+            return Vec::new();
+        }
+        let transitions = patterns.len() - 1;
+        let chunk = self.chunk;
+        let kernel = self.kernel;
+        let num_chunks = transitions.div_ceil(chunk);
+        let mut partials = vec![TraceSummary::empty(); num_chunks];
+        {
+            let jobs = self.jobs.min(num_chunks).max(1);
+            let slots: Vec<(usize, &mut TraceSummary)> =
+                partials.iter_mut().enumerate().collect();
+            let run = move |work: Vec<(usize, &mut TraceSummary)>| {
+                let mut block = PatternBlock::new(kernel.num_vars() as usize);
+                let mut values = Vec::new();
+                for (ci, slot) in work {
+                    let start = ci * chunk;
+                    let end = (start + chunk).min(transitions);
+                    block.clear();
+                    block.extend_from_patterns(kernel, &patterns[start..=end]);
+                    values.resize(block.len(), 0.0);
+                    kernel.eval_batch_into(&block, &mut values);
+                    let mut sum = 0.0f64;
+                    let mut max = f64::NEG_INFINITY;
+                    for &c in &values {
+                        sum += c;
+                        max = max.max(c);
+                    }
+                    *slot = TraceSummary {
+                        transitions: values.len(),
+                        sum_ff: sum,
+                        max_ff: max,
+                    };
+                }
+            };
+            if jobs == 1 {
+                // One worker: run inline, no thread spawn.
+                run(slots);
+            } else {
+                let mut per_worker: Vec<Vec<(usize, &mut TraceSummary)>> =
+                    (0..jobs).map(|_| Vec::new()).collect();
+                for (i, s) in slots {
+                    per_worker[i % jobs].push((i, s));
+                }
+                std::thread::scope(|scope| {
+                    for work in per_worker {
+                        scope.spawn(|| run(work));
+                    }
+                });
+            }
+        }
+        partials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charfree_core::{ModelBuilder, PowerModel};
+    use charfree_netlist::{benchmarks, Library};
+    use charfree_sim::MarkovSource;
+
+    fn cm85_kernel() -> (charfree_core::AddPowerModel, Kernel) {
+        let library = Library::test_library();
+        let model = ModelBuilder::new(&benchmarks::cm85(&library)).max_nodes(400).build();
+        let kernel = Kernel::compile(&model);
+        (model, kernel)
+    }
+
+    #[test]
+    fn summary_matches_sequential_reference() {
+        let (model, kernel) = cm85_kernel();
+        let mut source = MarkovSource::new(11, 0.5, 0.4, 11).expect("feasible");
+        let patterns = source.sequence(700);
+        let summary = TraceEngine::new(&kernel).chunk_size(128).jobs(3).evaluate(&patterns);
+        assert_eq!(summary.transitions, 699);
+        // Reference with the same chunked association.
+        let mut want_sum = 0.0f64;
+        let mut want_max = f64::NEG_INFINITY;
+        for chunk in (0..699).collect::<Vec<_>>().chunks(128) {
+            let mut s = 0.0f64;
+            for &t in chunk {
+                let c = model.capacitance(&patterns[t], &patterns[t + 1]).femtofarads();
+                s += c;
+                want_max = want_max.max(c);
+            }
+            want_sum += s;
+        }
+        assert_eq!(summary.sum_ff.to_bits(), want_sum.to_bits());
+        assert_eq!(summary.max_ff.to_bits(), want_max.to_bits());
+    }
+
+    #[test]
+    fn jobs_do_not_change_results() {
+        let (_, kernel) = cm85_kernel();
+        let mut source = MarkovSource::new(11, 0.5, 0.3, 5).expect("feasible");
+        let patterns = source.sequence(1500);
+        let one = TraceEngine::new(&kernel).chunk_size(100).jobs(1).evaluate(&patterns);
+        let eight = TraceEngine::new(&kernel).chunk_size(100).jobs(8).evaluate(&patterns);
+        assert_eq!(one.sum_ff.to_bits(), eight.sum_ff.to_bits());
+        assert_eq!(one.max_ff.to_bits(), eight.max_ff.to_bits());
+        assert_eq!(one.transitions, eight.transitions);
+    }
+
+    #[test]
+    fn trace_matches_scalar_walks() {
+        let (model, kernel) = cm85_kernel();
+        let mut source = MarkovSource::new(11, 0.5, 0.6, 7).expect("feasible");
+        let patterns = source.sequence(300);
+        let trace = TraceEngine::new(&kernel).chunk_size(64).jobs(4).trace(&patterns);
+        assert_eq!(trace.len(), 299);
+        for (t, &c) in trace.iter().enumerate() {
+            assert_eq!(
+                c.to_bits(),
+                model.capacitance(&patterns[t], &patterns[t + 1]).femtofarads().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn stream_matches_resident_evaluation() {
+        let (_, kernel) = cm85_kernel();
+        let mut source = MarkovSource::new(11, 0.5, 0.5, 23).expect("feasible");
+        // Deliberately not a multiple of the window size.
+        let patterns = source.sequence(2000);
+        let engine = TraceEngine::new(&kernel).chunk_size(100).jobs(4);
+        let resident = engine.evaluate(&patterns);
+        let streamed = engine.evaluate_stream(patterns.iter().cloned());
+        assert_eq!(resident.transitions, streamed.transitions);
+        assert_eq!(resident.max_ff.to_bits(), streamed.max_ff.to_bits());
+        // Window/chunk boundaries coincide (window = 8 chunks), so even the
+        // sum association is identical.
+        assert_eq!(resident.sum_ff.to_bits(), streamed.sum_ff.to_bits());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (_, kernel) = cm85_kernel();
+        let engine = TraceEngine::new(&kernel);
+        assert_eq!(engine.evaluate(&[]).transitions, 0);
+        assert_eq!(engine.trace(&[vec![false; 11]]).len(), 0);
+        assert_eq!(engine.evaluate_stream(std::iter::empty()).transitions, 0);
+    }
+}

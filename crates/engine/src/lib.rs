@@ -1,0 +1,38 @@
+//! # charfree-engine — compiled ADD kernels and the trace engine
+//!
+//! The construction side of the workspace (`charfree-core`) builds ADD
+//! power models inside a [`charfree_dd::Manager`] arena: hash-consed,
+//! cache-backed, ideal for symbolic manipulation, and deliberately *not*
+//! optimised for raw evaluation throughput. This crate is the other half
+//! of the story — once a model is frozen, it is **compiled** into a flat
+//! kernel and evaluated in bulk:
+//!
+//! * [`Kernel`] — a topologically ordered vector of 12-byte branch
+//!   instructions plus a dense terminal table, fully decoupled from the
+//!   manager arena. `Send + Sync`, independently persistable
+//!   ([`Kernel::save`] / [`Kernel::load`]), and validated on load.
+//! * [`PatternBlock`] — column-packed `u64` bit-matrix staging for
+//!   transition streams, one word per diagram variable per 64
+//!   transitions; [`Kernel::eval_batch`] consumes it allocation-free.
+//! * [`TraceEngine`] — chunked, deterministic multi-threaded trace
+//!   evaluation: results are bit-identical for any `--jobs` value, in
+//!   resident and streaming mode alike.
+//! * [`CompiledModel`] — a [`charfree_core::PowerModel`] adapter so the
+//!   accuracy sweeps and CLI paths transparently use the compiled path
+//!   while the arena model remains the reference oracle.
+//! * [`throughput`] — the measurement harness behind
+//!   `charfree throughput` and `BENCH_engine.json`.
+
+#![warn(missing_docs)]
+
+mod block;
+mod compiled;
+mod engine;
+mod kernel;
+mod persist;
+pub mod throughput;
+
+pub use block::PatternBlock;
+pub use compiled::CompiledModel;
+pub use engine::{TraceEngine, TraceSummary};
+pub use kernel::{Instr, Kernel};

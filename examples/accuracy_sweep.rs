@@ -67,9 +67,9 @@ fn main() {
     }
     println!(
         "\nARE: Con = {:.1}%, Lin = {:.1}%, ADD = {:.1}%",
-        eval.are_percent(0),
-        eval.are_percent(1),
-        eval.are_percent(2)
+        eval.are_percent(0).expect("model column"),
+        eval.are_percent(1).expect("model column"),
+        eval.are_percent(2).expect("model column")
     );
     println!("(the in-sample point st = 0.5 is where Con/Lin look deceptively good)");
 }

@@ -5,18 +5,29 @@
 //! report, so the whole CLI is unit-testable without spawning processes.
 //!
 //! ```text
-//! charfree model <netlist.{blif,v}> [-o M.cfm] [--max N] [--upper-bound]
-//!                [--library L.lib] [--paper-plain] [--node-budget N]
-//!                [--time-budget SECS] [--strict]
-//! charfree eval <M.cfm> [--vectors N] [--sp P] [--st P] [--vdd V]
-//!                [--period NS] [--seed S]
+//! charfree model <netlist.{blif,v}> [-o M.cfm] [--kernel] [--max N]
+//!                [--upper-bound] [--library L.lib] [--paper-plain]
+//!                [--node-budget N] [--time-budget SECS] [--strict]
+//! charfree eval <M.{cfm,cfk}> [--vectors N] [--sp P] [--st P] [--vdd V]
+//!                [--period NS] [--seed S] [--jobs N]
 //! charfree datasheet <M.cfm> [--top K]
 //! charfree sim <netlist.{blif,v}> [--vectors N] [--sp P] [--st P]
 //!                [--library L.lib] [--seed S]
 //! charfree bench <name> [--format blif|verilog]
+//! charfree throughput <bench|netlist|M.cfm> [--vectors N] [--jobs N]
+//!                [--max N] [-o BENCH_engine.json]
 //! ```
+//!
+//! The trace-shaped subcommands (`eval`, `trace`, `throughput`) compile
+//! the model's decision diagram into a flat `charfree-engine` kernel and
+//! evaluate transitions in packed batches across `--jobs` workers; the
+//! arena-backed model remains the reference oracle (`throughput`
+//! cross-checks the two on every run). `eval`, `trace` and `expected`
+//! also accept a compiled `.cfk` kernel (written by `model --kernel`)
+//! directly — no diagram arena is built at all in that case.
 
 use charfree_core::{AddPowerModel, ApproxStrategy, ModelBuilder, PowerModel};
+use charfree_engine::{throughput, Kernel, TraceEngine};
 use charfree_netlist::units::Voltage;
 use charfree_netlist::{benchmarks, blif, libspec, verilog, Library, Netlist};
 use charfree_sim::{MarkovSource, ZeroDelaySim};
@@ -45,6 +56,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "trace" => cmd_trace(rest),
         "sim" => cmd_sim(rest),
         "bench" => cmd_bench(rest),
+        "throughput" => cmd_throughput(rest),
         "--help" | "-h" | "help" => Ok(usage("")),
         other => Err(usage(&format!("unknown subcommand `{other}`"))),
     }
@@ -59,18 +71,24 @@ fn usage(prefix: &str) -> String {
         "charfree — characterization-free behavioral power modeling\n\
          \n\
          usage:\n\
-         \x20 charfree model <netlist.{blif,v}> [-o M.cfm] [--max N] [--upper-bound]\n\
-         \x20                [--library L.lib] [--paper-plain] [--node-budget N]\n\
-         \x20                [--time-budget SECS] [--strict]\n\
-         \x20 charfree eval <M.cfm> [--vectors N] [--sp P] [--st P] [--vdd V]\n\
-         \x20                [--period NS] [--seed S]\n\
+         \x20 charfree model <netlist.{blif,v}> [-o M.cfm] [--kernel] [--max N]\n\
+         \x20                [--upper-bound] [--library L.lib] [--paper-plain]\n\
+         \x20                [--node-budget N] [--time-budget SECS] [--strict]\n\
+         \x20 charfree eval <M.{cfm,cfk}> [--vectors N] [--sp P] [--st P] [--vdd V]\n\
+         \x20                [--period NS] [--seed S] [--jobs N]\n\
          \x20 charfree datasheet <M.cfm> [--top K]\n\
-         \x20 charfree expected <M.cfm> [--sp P] [--st P]\n\
-         \x20 charfree trace <M.cfm> [--vectors N] [--sp P] [--st P] [--vdd V]\n\
-         \x20                [--period NS] [--seed S] [-o out.csv]\n\
+         \x20 charfree expected <M.{cfm,cfk}> [--sp P] [--st P]\n\
+         \x20 charfree trace <M.{cfm,cfk}> [--vectors N] [--sp P] [--st P] [--vdd V]\n\
+         \x20                [--period NS] [--seed S] [--jobs N] [-o out.csv]\n\
          \x20 charfree sim <netlist.{blif,v}> [--vectors N] [--sp P] [--st P]\n\
          \x20                [--library L.lib] [--seed S]\n\
-         \x20 charfree bench <name> [--format blif|verilog]\n",
+         \x20 charfree bench <name> [--format blif|verilog]\n\
+         \x20 charfree throughput <bench|netlist|M.cfm> [--vectors N] [--jobs N]\n\
+         \x20                [--max N] [--sp P] [--st P] [--seed S]\n\
+         \x20                [--library L.lib] [-o BENCH_engine.json]\n\
+         \n\
+         `--jobs 0` (the default) uses one worker per available core;\n\
+         results are bit-identical for every worker count.\n",
     );
     out
 }
@@ -170,6 +188,18 @@ fn load_model(path: &str) -> Result<AddPowerModel, CliError> {
     AddPowerModel::load(text.as_slice()).map_err(|e| format!("{path}: {e}"))
 }
 
+/// An evaluation kernel from either artifact kind: a compiled `.cfk`
+/// kernel is loaded directly (no arena is ever built); anything else is
+/// treated as a `.cfm` model and compiled on the fly.
+fn load_kernel_input(path: &str) -> Result<Kernel, CliError> {
+    if path.ends_with(".cfk") {
+        let text = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        Kernel::load(text.as_slice()).map_err(|e| format!("{path}: {e}"))
+    } else {
+        Ok(Kernel::compile(&load_model(path)?))
+    }
+}
+
 fn cmd_model(args: &[String]) -> Result<String, CliError> {
     let mut flags = Flags::new(args);
     let library = load_library(&mut flags)?;
@@ -181,7 +211,11 @@ fn cmd_model(args: &[String]) -> Result<String, CliError> {
     let strict = flags.flag("--strict");
     let upper_bound = flags.flag("--upper-bound");
     let paper_plain = flags.flag("--paper-plain");
+    let emit_kernel = flags.flag("--kernel");
     flags.finish()?;
+    if emit_kernel && out_path.is_none() {
+        return Err("`--kernel` needs `-o` (the kernel is written next to the model)".to_owned());
+    }
     if time_budget < 0.0 || !time_budget.is_finite() {
         return Err(format!("bad value `{time_budget}` for `--time-budget`"));
     }
@@ -236,6 +270,23 @@ fn cmd_model(args: &[String]) -> Result<String, CliError> {
             model.save(&mut buf).map_err(|e| e.to_string())?;
             fs::write(&path, buf).map_err(|e| format!("{path}: {e}"))?;
             let _ = writeln!(report, "wrote {path}");
+            if emit_kernel {
+                let kpath = std::path::Path::new(&path)
+                    .with_extension("cfk")
+                    .to_string_lossy()
+                    .into_owned();
+                let kernel = Kernel::compile(&model);
+                let mut buf = Vec::new();
+                kernel.save(&mut buf).map_err(|e| e.to_string())?;
+                fs::write(&kpath, buf).map_err(|e| format!("{kpath}: {e}"))?;
+                let _ = writeln!(
+                    report,
+                    "wrote kernel {kpath} ({} instrs, {} terminals, {} bytes)",
+                    kernel.num_instrs(),
+                    kernel.num_terminals(),
+                    kernel.bytes()
+                );
+            }
         }
         None => {
             let _ = writeln!(report, "(no -o given; model not persisted)");
@@ -253,28 +304,26 @@ fn cmd_eval(args: &[String]) -> Result<String, CliError> {
     let vdd: f64 = flags.parse("--vdd", 3.3)?;
     let period: f64 = flags.parse("--period", 10.0)?;
     let seed: u64 = flags.parse("--seed", 1)?;
+    let jobs: usize = flags.parse("--jobs", 0)?;
     flags.finish()?;
 
-    let model = load_model(model_path)?;
-    let mut source = MarkovSource::new(model.num_inputs(), sp, st, seed)
+    let kernel = load_kernel_input(model_path)?;
+    let mut source = MarkovSource::new(kernel.num_inputs(), sp, st, seed)
         .map_err(|e| e.to_string())?;
     let patterns = source.sequence(vectors.max(2));
     let vdd = Voltage(vdd);
-    let mut sum = 0.0f64;
-    let mut peak = 0.0f64;
-    for t in 0..patterns.len() - 1 {
-        let e = model
-            .energy(&patterns[t], &patterns[t + 1], vdd)
-            .femtojoules();
-        sum += e;
-        peak = peak.max(e);
-    }
-    let cycles = (patterns.len() - 1) as f64;
+    // Compiled-kernel fast path: batch-evaluate the switched capacitance
+    // of the whole stream, then scale by Vdd² (energy is monotone in C,
+    // so the summary's max is the energy peak too).
+    let summary = TraceEngine::new(&kernel).jobs(jobs).evaluate(&patterns);
+    let sum = vdd.volts() * vdd.volts() * summary.sum_ff;
+    let peak = (vdd.volts() * vdd.volts() * summary.max_ff).max(0.0);
+    let cycles = summary.transitions as f64;
     let mut report = String::new();
     let _ = writeln!(
         report,
         "model `{}` on {} vectors (sp={sp}, st={st}, Vdd={} V, T={period} ns):",
-        model.name(),
+        kernel.name(),
         patterns.len(),
         vdd.volts()
     );
@@ -334,14 +383,28 @@ fn cmd_expected(args: &[String]) -> Result<String, CliError> {
     let sp: f64 = flags.parse("--sp", 0.5)?;
     let st: f64 = flags.parse("--st", 0.5)?;
     flags.finish()?;
-    let model = load_model(model_path)?;
-    let c = model.expected_capacitance(sp, st);
+    // The flat kernel evaluates the expectation without touching the
+    // manager arena; grouped-ordering models (whose pair correlation is
+    // not chain-expressible on the kernel) fall back to the arena path,
+    // which needs the `.cfm` artifact.
+    let kernel = load_kernel_input(model_path)?;
+    let c = if kernel.is_interleaved() {
+        kernel.expected_capacitance(sp, st)
+    } else if model_path.ends_with(".cfk") {
+        return Err(
+            "grouped-ordering kernels cannot evaluate expectations; \
+             pass the `.cfm` model instead"
+                .to_owned(),
+        );
+    } else {
+        load_model(model_path)?.expected_capacitance(sp, st).femtofarads()
+    };
     let mut report = String::new();
     let _ = writeln!(
         report,
         "analytic expected switched capacitance of `{}` at (sp={sp}, st={st}): {:.3} fF/cycle",
-        model.name(),
-        c.femtofarads()
+        kernel.name(),
+        c
     );
     let _ = writeln!(report, "(symbolic — no simulation vectors involved)");
     Ok(report)
@@ -356,15 +419,19 @@ fn cmd_trace(args: &[String]) -> Result<String, CliError> {
     let vdd: f64 = flags.parse("--vdd", 3.3)?;
     let period: f64 = flags.parse("--period", 10.0)?;
     let seed: u64 = flags.parse("--seed", 1)?;
+    let jobs: usize = flags.parse("--jobs", 0)?;
     let out_path = flags.value("-o")?.map(str::to_owned);
     flags.finish()?;
 
-    let model = load_model(model_path)?;
-    let mut source = MarkovSource::new(model.num_inputs(), sp, st, seed)
+    let kernel = load_kernel_input(model_path)?;
+    let mut source = MarkovSource::new(kernel.num_inputs(), sp, st, seed)
         .map_err(|e| e.to_string())?;
     let patterns = source.sequence(vectors.max(2));
-    let caps: Vec<_> = (0..patterns.len() - 1)
-        .map(|t| model.capacitance(&patterns[t], &patterns[t + 1]))
+    let caps: Vec<_> = TraceEngine::new(&kernel)
+        .jobs(jobs)
+        .trace(&patterns)
+        .into_iter()
+        .map(charfree_netlist::units::Capacitance)
         .collect();
     let trace = charfree_sim::EnergyTrace::from_switched(&caps, Voltage(vdd), period);
 
@@ -434,6 +501,90 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         "verilog" | "v" => Ok(verilog::write(&netlist)),
         other => Err(format!("unknown format `{other}` (blif|verilog)")),
     }
+}
+
+fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
+    let mut flags = Flags::new(args);
+    let library = load_library(&mut flags)?;
+    let target = flags.positional()?;
+    let vectors: usize = flags.parse("--vectors", 20_000)?;
+    let jobs: usize = flags.parse("--jobs", 0)?;
+    let max: usize = flags.parse("--max", 0)?;
+    let sp: f64 = flags.parse("--sp", 0.5)?;
+    let st: f64 = flags.parse("--st", 0.5)?;
+    let seed: u64 = flags.parse("--seed", 1)?;
+    let out_path = flags.value("-o")?.map(str::to_owned);
+    flags.finish()?;
+
+    // The operand is a saved model, a netlist file, or a benchmark name.
+    let model = if target.ends_with(".cfm") {
+        load_model(target)?
+    } else {
+        let netlist = if std::path::Path::new(target).exists() {
+            load_netlist(target, &library)?
+        } else {
+            benchmarks::by_name(target, &library).ok_or_else(|| {
+                format!("`{target}` is neither a file nor a known benchmark")
+            })?
+        };
+        let mut builder = ModelBuilder::new(&netlist);
+        if max > 0 {
+            builder = builder.max_nodes(max);
+        }
+        let mut model = builder.build();
+        model.set_name(netlist.name());
+        model
+    };
+
+    let mut source =
+        MarkovSource::new(model.num_inputs(), sp, st, seed).map_err(|e| e.to_string())?;
+    let patterns = source.sequence(vectors.max(2));
+    let record = throughput::measure(&model, &patterns, jobs);
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "throughput of `{}` ({} inputs, {} ADD nodes) over {} transitions:",
+        record.circuit, record.inputs, record.add_nodes, record.transitions
+    );
+    let _ = writeln!(
+        report,
+        "  kernel: {} instrs, {} terminals, {} bytes, compiled in {:.3} ms",
+        record.kernel_instrs,
+        record.kernel_terminals,
+        record.kernel_bytes,
+        record.compile_seconds * 1e3
+    );
+    let _ = writeln!(
+        report,
+        "  arena walk (1 thread):     {:>12.0} patterns/s",
+        record.arena_pps
+    );
+    let _ = writeln!(
+        report,
+        "  compiled batch (1 thread): {:>12.0} patterns/s  ({:.1}x arena)",
+        record.batch_pps,
+        record.speedup_batch()
+    );
+    let _ = writeln!(
+        report,
+        "  compiled batch ({} threads): {:>10.0} patterns/s  ({:.1}x arena, {:.2}x batch)",
+        record.jobs,
+        record.parallel_pps,
+        record.speedup_parallel(),
+        record.scaling()
+    );
+    let _ = writeln!(
+        report,
+        "  parity with arena oracle: {}",
+        if record.parity { "ok" } else { "FAILED" }
+    );
+    if let Some(path) = out_path {
+        fs::write(&path, throughput::records_to_json(&[record]))
+            .map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(report, "wrote {path}");
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -602,6 +753,104 @@ mod more_tests {
                 .expect("parses")
         };
         assert!(grab(&high) > grab(&low), "more activity, more power");
+    }
+
+    #[test]
+    fn throughput_subcommand_reports_and_writes_json() {
+        let dir = std::env::temp_dir().join("charfree-cli-test-throughput");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let json_path = dir.join("BENCH_engine.json");
+        let report = run(&s(&[
+            "throughput",
+            "decod",
+            "--vectors",
+            "300",
+            "--jobs",
+            "2",
+            "-o",
+            json_path.to_str().expect("utf8"),
+        ]))
+        .expect("throughput runs");
+        assert!(report.contains("compiled batch"), "{report}");
+        assert!(report.contains("parity with arena oracle: ok"), "{report}");
+        let json = fs::read_to_string(&json_path).expect("json written");
+        assert!(json.contains("\"parity\": true"), "{json}");
+        assert!(json.contains("\"batch_patterns_per_sec\""), "{json}");
+
+        // A saved .cfm works as the operand too.
+        let model_path = model_file();
+        let report = run(&s(&[
+            "throughput",
+            model_path.to_str().expect("utf8"),
+            "--vectors",
+            "300",
+        ]))
+        .expect("throughput on .cfm runs");
+        assert!(report.contains("throughput of `cm85`"), "{report}");
+
+        assert!(run(&s(&["throughput", "no-such-bench"])).is_err());
+    }
+
+    #[test]
+    fn model_kernel_flag_writes_loadable_kernel() {
+        let dir = std::env::temp_dir().join("charfree-cli-test-kernel");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let netlist_path = dir.join("decod.blif");
+        let model_path = dir.join("decod.cfm");
+        fs::write(&netlist_path, run(&s(&["bench", "decod"])).expect("bench")).expect("write");
+        let report = run(&s(&[
+            "model",
+            netlist_path.to_str().expect("utf8"),
+            "-o",
+            model_path.to_str().expect("utf8"),
+            "--kernel",
+        ]))
+        .expect("model --kernel runs");
+        assert!(report.contains("wrote kernel"), "{report}");
+        let kernel_path = dir.join("decod.cfk");
+        let text = fs::read(&kernel_path).expect("kernel written");
+        let kernel = charfree_engine::Kernel::load(text.as_slice()).expect("kernel loads");
+        assert_eq!(kernel.num_inputs(), 5);
+
+        // The `.cfk` is a first-class evaluation input: eval/trace/expected
+        // produce the same reports from the kernel as from the model.
+        let kpath = kernel_path.to_str().expect("utf8");
+        let mpath = model_path.to_str().expect("utf8");
+        for cmd in [
+            &["eval", "--vectors", "400"][..],
+            &["trace", "--vectors", "200"][..],
+            &["expected", "--st", "0.3"][..],
+        ] {
+            let (name, flags) = cmd.split_first().expect("non-empty");
+            let mut from_kernel = vec![name.to_string(), kpath.to_owned()];
+            let mut from_model = vec![name.to_string(), mpath.to_owned()];
+            from_kernel.extend(flags.iter().map(|f| f.to_string()));
+            from_model.extend(flags.iter().map(|f| f.to_string()));
+            assert_eq!(
+                run(&from_kernel).expect("kernel input runs"),
+                run(&from_model).expect("model input runs"),
+                "`{name}` diverged between .cfk and .cfm inputs"
+            );
+        }
+
+        // --kernel without -o is rejected.
+        assert!(run(&s(&[
+            "model",
+            netlist_path.to_str().expect("utf8"),
+            "--kernel",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn trace_is_deterministic_across_jobs() {
+        let model_path = model_file();
+        let path = model_path.to_str().expect("utf8");
+        let one = run(&s(&["trace", path, "--vectors", "600", "--jobs", "1"]))
+            .expect("trace -j1");
+        let eight = run(&s(&["trace", path, "--vectors", "600", "--jobs", "8"]))
+            .expect("trace -j8");
+        assert_eq!(one, eight, "worker count must not change the trace");
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   MCNC-equivalent benchmark generators;
 //! * [`sim`] — zero-delay (golden) and unit-delay gate-level simulation,
 //!   Markov pattern sources with controlled `(sp, st)` statistics;
+//! * [`engine`] — compiled flat ADD kernels with packed-batch,
+//!   multi-threaded trace evaluation (the production evaluation path;
+//!   the arena model stays the reference oracle);
 //! * the core items at the crate root — [`ModelBuilder`], [`AddPowerModel`],
 //!   [`ApproxStrategy`], the [`ConstantModel`]/[`LinearModel`] baselines,
 //!   the [`evaluate`] accuracy harness and [`RtlDesign`] composition.
@@ -51,3 +54,7 @@ pub use charfree_netlist as netlist;
 
 /// Simulation and pattern sources (re-export of `charfree-sim`).
 pub use charfree_sim as sim;
+
+/// Compiled ADD kernels and the batched, multi-threaded trace engine
+/// (re-export of `charfree-engine`).
+pub use charfree_engine as engine;
