@@ -13,8 +13,10 @@
 //! cargo run --release -p charfree-bench --bin blowup
 //! ```
 
-use charfree_core::{evaluate, ModelBuilder, Protocol};
+use charfree_bench::{build_model, max_nodes_options};
+use charfree_core::{evaluate, Protocol};
 use charfree_netlist::{benchmarks, Library};
+use charfree_pipeline::BuildOptions;
 use charfree_sim::{statistics_grid, ZeroDelaySim};
 use std::time::Instant;
 
@@ -22,11 +24,14 @@ fn main() {
     let library = Library::test_library();
 
     println!("exact ADD size vs multiplier width (the C6288 effect):");
-    println!("{:>6} {:>4} {:>6} {:>10} {:>9}", "unit", "n", "gates", "exact size", "build(s)");
+    println!(
+        "{:>6} {:>4} {:>6} {:>10} {:>9}",
+        "unit", "n", "gates", "exact size", "build(s)"
+    );
     for width in [2usize, 3, 4, 5] {
         let netlist = benchmarks::mult(width, &library);
         let t = Instant::now();
-        let model = ModelBuilder::new(&netlist).build();
+        let model = build_model(&netlist, BuildOptions::default());
         println!(
             "{:>6} {:>4} {:>6} {:>10} {:>9.2}",
             netlist.name(),
@@ -40,10 +45,13 @@ fn main() {
     println!("\nbounded construction on mult5 (exact ADD: ~400k nodes):");
     let netlist = benchmarks::mult(5, &library);
     let sim = ZeroDelaySim::new(&netlist);
-    println!("{:>7} {:>7} {:>9} {:>8}", "MAX", "size", "build(s)", "ARE(%)");
+    println!(
+        "{:>7} {:>7} {:>9} {:>8}",
+        "MAX", "size", "build(s)", "ARE(%)"
+    );
     for max in [5000usize, 1000, 200, 50] {
         let t = Instant::now();
-        let model = ModelBuilder::new(&netlist).max_nodes(max).build();
+        let model = build_model(&netlist, max_nodes_options(max));
         let secs = t.elapsed().as_secs_f64();
         let eval = evaluate(
             &[&model],

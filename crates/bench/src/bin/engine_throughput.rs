@@ -9,15 +9,16 @@
 //!     [--jobs N]        parallel worker count (default 4)
 //!     [--quick]         500 vectors (CI smoke run)
 //!     [-o PATH]         output path (default BENCH_engine.json)
+//!     [--cache-dir DIR] warm-load models from a content-addressed store
 //! ```
 //!
 //! Every record carries a `parity` flag — the compiled sum is
 //! cross-checked against the arena oracle, so a throughput win can never
 //! silently come from evaluating a different function.
 
-use charfree_core::ModelBuilder;
 use charfree_engine::throughput::{measure, records_to_json};
 use charfree_netlist::{benchmarks, Library, Netlist};
+use charfree_pipeline::{ArtifactStore, BuildOptions, PipelineCtx};
 use charfree_sim::MarkovSource;
 
 /// `(netlist, max_nodes)` per measured circuit; budgets follow the
@@ -39,6 +40,7 @@ fn main() {
     let mut vectors = 20_000usize;
     let mut jobs = 4usize;
     let mut out = String::from("BENCH_engine.json");
+    let mut cache_dir: Option<String> = None;
     let mut filter: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,26 +59,37 @@ fn main() {
             }
             "--quick" => vectors = 500,
             "-o" => out = args.next().expect("-o takes a path"),
+            "--cache-dir" => cache_dir = Some(args.next().expect("--cache-dir takes a path")),
             name => filter.push(name.to_owned()),
         }
     }
 
     let library = Library::test_library();
     let mut records = Vec::new();
+    let (mut cache_hits, mut cache_misses) = (0usize, 0usize);
     for (netlist, max) in circuits(&library, &filter) {
         eprintln!(
             "[run ] {} (n={}, N={}, max={})",
             netlist.name(),
             netlist.num_inputs(),
             netlist.num_gates(),
-            if max == 0 { "exact".to_owned() } else { max.to_string() }
+            if max == 0 {
+                "exact".to_owned()
+            } else {
+                max.to_string()
+            }
         );
-        let mut builder = ModelBuilder::new(&netlist);
+        let mut options = BuildOptions::default();
         if max > 0 {
-            builder = builder.max_nodes(max);
+            options.max_nodes = Some(max);
         }
-        let mut model = builder.build();
-        model.set_name(netlist.name());
+        let mut ctx = PipelineCtx::new(library.clone()).with_options(options);
+        if let Some(dir) = &cache_dir {
+            ctx = ctx.with_store(ArtifactStore::new(dir));
+        }
+        let model = ctx.build_model(&netlist).expect("known circuits build");
+        cache_hits += ctx.telemetry.cache_hits();
+        cache_misses += ctx.telemetry.cache_misses();
         let mut source =
             MarkovSource::new(model.num_inputs(), 0.5, 0.5, 7).expect("feasible statistics");
         let patterns = source.sequence(vectors.max(2));
@@ -96,6 +109,9 @@ fn main() {
 
     std::fs::write(&out, records_to_json(&records)).expect("write BENCH_engine.json");
     println!("wrote {} records to {out}", records.len());
+    if cache_dir.is_some() {
+        println!("artifact cache: {cache_hits} hit(s), {cache_misses} miss(es)");
+    }
     if records.iter().any(|r| !r.parity) {
         eprintln!("error: at least one record failed the arena parity cross-check");
         std::process::exit(1);

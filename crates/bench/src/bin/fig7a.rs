@@ -25,8 +25,14 @@ fn main() {
     let cm85 = benchmarks::cm85(&library);
     let eval = fig7a(&cm85, 500, &config);
 
-    println!("Fig. 7a — RE(st) at sp = 0.5 on cm85, ADD MAX = 500 ({} vectors/run)", config.vectors);
-    println!("{:>5} {:>10} {:>10} {:>10}", "st", "Con RE(%)", "Lin RE(%)", "ADD RE(%)");
+    println!(
+        "Fig. 7a — RE(st) at sp = 0.5 on cm85, ADD MAX = 500 ({} vectors/run)",
+        config.vectors
+    );
+    println!(
+        "{:>5} {:>10} {:>10} {:>10}",
+        "st", "Con RE(%)", "Lin RE(%)", "ADD RE(%)"
+    );
     for p in &eval.points {
         println!(
             "{:>5.2} {:>10.1} {:>10.1} {:>10.1}",

@@ -26,7 +26,10 @@ fn main() {
     let budgets = [5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000];
     let (points, con_are, lin_are) = fig7b(&cm85, &budgets, &config);
 
-    println!("Fig. 7b — ARE vs model size on cm85 ({} vectors/run)", config.vectors);
+    println!(
+        "Fig. 7b — ARE vs model size on cm85 ({} vectors/run)",
+        config.vectors
+    );
     println!("{:>6} {:>6} {:>10}", "MAX", "size", "ARE(%)");
     for p in &points {
         println!("{:>6} {:>6} {:>10.1}", p.max_nodes, p.size, p.are);

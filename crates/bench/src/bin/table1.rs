@@ -47,7 +47,10 @@ fn main() {
         rows.push(table1_row(&netlist, avg_max, ub_max, &config));
     }
 
-    println!("Table 1 — average estimators and upper bounds ({} vectors/run)", config.vectors);
+    println!(
+        "Table 1 — average estimators and upper bounds ({} vectors/run)",
+        config.vectors
+    );
     println!("{}", format_table1(&rows));
     println!("(left block: ARE on average power; right block: ARE on maximum power)");
 }

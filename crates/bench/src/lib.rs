@@ -8,14 +8,33 @@
 //! curves bend — is the reproduction target (see EXPERIMENTS.md).
 
 #![warn(missing_docs)]
+// `.unwrap()` is banned crate-wide; `.expect()` remains available for
+// invariants with a stated justification, and tests are exempt.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use charfree_core::{
-    evaluate, ApproxStrategy, ConstantModel, Evaluation, LinearModel, ModelBuilder,
-    Protocol, TrainingSet,
+    evaluate, AddPowerModel, ConstantModel, Evaluation, LinearModel, Protocol, TrainingSet,
 };
 use charfree_netlist::{benchmarks, Library, Netlist};
+use charfree_pipeline::{BuildOptions, PipelineCtx};
 use charfree_sim::{statistics_grid, ZeroDelaySim};
 use std::time::Instant;
+
+/// Builds one model through the shared pipeline (no artifact store — the
+/// harness times cold constructions on purpose).
+pub fn build_model(netlist: &Netlist, options: BuildOptions) -> AddPowerModel {
+    let mut ctx = PipelineCtx::new(Library::test_library()).with_options(options);
+    ctx.build_model(netlist).expect("harness netlists build")
+}
+
+/// [`BuildOptions`] with just the paper's `MAX` ceiling set.
+pub fn max_nodes_options(max_nodes: usize) -> BuildOptions {
+    BuildOptions {
+        max_nodes: Some(max_nodes),
+        ..BuildOptions::default()
+    }
+}
 
 /// The paper's per-circuit `MAX` budgets (Table 1, columns 7 and 11).
 ///
@@ -91,12 +110,7 @@ impl Default for Config {
 }
 
 /// Computes one Table 1 row for `netlist`.
-pub fn table1_row(
-    netlist: &Netlist,
-    avg_max: usize,
-    ub_max: usize,
-    config: &Config,
-) -> Table1Row {
+pub fn table1_row(netlist: &Netlist, avg_max: usize, ub_max: usize, config: &Config) -> Table1Row {
     let sim = ZeroDelaySim::new(netlist);
     let grid = statistics_grid();
 
@@ -107,7 +121,7 @@ pub fn table1_row(
 
     // Analytical average model.
     let t0 = Instant::now();
-    let add = ModelBuilder::new(netlist).max_nodes(avg_max).build();
+    let add = build_model(netlist, max_nodes_options(avg_max));
     let avg_cpu = t0.elapsed().as_secs_f64();
     let avg_eval = evaluate(
         &[&con, &lin, &add],
@@ -120,10 +134,14 @@ pub fn table1_row(
 
     // Pattern-dependent upper bound + constant-max baseline.
     let t1 = Instant::now();
-    let bound = ModelBuilder::new(netlist)
-        .max_nodes(ub_max)
-        .strategy(ApproxStrategy::UpperBound)
-        .build();
+    let bound = build_model(
+        netlist,
+        BuildOptions {
+            max_nodes: Some(ub_max),
+            upper_bound: true,
+            ..BuildOptions::default()
+        },
+    );
     let ub_cpu = t1.elapsed().as_secs_f64();
     let con_max = ConstantModel::from_capacitance(bound.max_capacitance(), "Con");
     let ub_eval = evaluate(
@@ -158,8 +176,18 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     let _ = writeln!(
         out,
         "{:8} {:>3} {:>5} | {:>8} {:>8} {:>8} {:>6} {:>8} | {:>8} {:>8} {:>6} {:>8}",
-        "name", "n", "N", "Con(%)", "Lin(%)", "ADD(%)", "MAX", "CPU(s)", "Con(%)", "ADD(%)",
-        "MAX", "CPU(s)"
+        "name",
+        "n",
+        "N",
+        "Con(%)",
+        "Lin(%)",
+        "ADD(%)",
+        "MAX",
+        "CPU(s)",
+        "Con(%)",
+        "ADD(%)",
+        "MAX",
+        "CPU(s)"
     );
     let _ = writeln!(out, "{}", "-".repeat(110));
     for r in rows {
@@ -190,7 +218,7 @@ pub fn fig7a(netlist: &Netlist, max_nodes: usize, config: &Config) -> Evaluation
     let training = TrainingSet::sample(&sim, config.training_vectors, config.seed);
     let con = ConstantModel::fit(&training);
     let lin = LinearModel::fit(&training);
-    let add = ModelBuilder::new(netlist).max_nodes(max_nodes).build();
+    let add = build_model(netlist, max_nodes_options(max_nodes));
     evaluate(
         &[&con, &lin, &add],
         &sim,
@@ -215,11 +243,7 @@ pub struct Fig7bPoint {
 /// Runs the Fig. 7b sweep: ARE of progressively smaller ADD models,
 /// derived by shrinking a single mother model (plus reference AREs for Con
 /// and Lin). Returns `(points, con_are, lin_are)`.
-pub fn fig7b(
-    netlist: &Netlist,
-    budgets: &[usize],
-    config: &Config,
-) -> (Vec<Fig7bPoint>, f64, f64) {
+pub fn fig7b(netlist: &Netlist, budgets: &[usize], config: &Config) -> (Vec<Fig7bPoint>, f64, f64) {
     let sim = ZeroDelaySim::new(netlist);
     let grid = statistics_grid();
     let training = TrainingSet::sample(&sim, config.training_vectors, config.seed);
@@ -236,7 +260,7 @@ pub fn fig7b(
 
     let mut points = Vec::with_capacity(budgets.len());
     for &budget in budgets {
-        let model = ModelBuilder::new(netlist).max_nodes(budget).build();
+        let model = build_model(netlist, max_nodes_options(budget));
         let eval = evaluate(
             &[&model],
             &sim,
@@ -251,7 +275,11 @@ pub fn fig7b(
             are: eval.are_percent(0).expect("model column"),
         });
     }
-    (points, reference.are_percent(0).expect("model column"), reference.are_percent(1).expect("model column"))
+    (
+        points,
+        reference.are_percent(0).expect("model column"),
+        reference.are_percent(1).expect("model column"),
+    )
 }
 
 /// Ablation configurations of DESIGN.md §5 and their AREs on one circuit.
@@ -259,53 +287,42 @@ pub fn ablation(netlist: &Netlist, max_nodes: usize, config: &Config) -> Vec<(St
     let sim = ZeroDelaySim::new(netlist);
     let grid = statistics_grid();
     let mut results = Vec::new();
-    type Variant<'a> = (&'a str, Box<dyn Fn() -> charfree_core::AddPowerModel + 'a>);
-    let variants: [Variant<'_>; 5] = [
+    let variants: [(&str, BuildOptions); 5] = [
         (
             "full (mixture+gating+recalibration)",
-            Box::new(|| ModelBuilder::new(netlist).max_nodes(max_nodes).build()),
+            max_nodes_options(max_nodes),
         ),
         (
             "no leaf recalibration",
-            Box::new(|| {
-                ModelBuilder::new(netlist)
-                    .max_nodes(max_nodes)
-                    .leaf_recalibration(false)
-                    .build()
-            }),
+            BuildOptions {
+                leaf_recalibration: false,
+                ..max_nodes_options(max_nodes)
+            },
         ),
         (
             "no diagonal gating",
-            Box::new(|| {
-                ModelBuilder::new(netlist)
-                    .max_nodes(max_nodes)
-                    .diagonal_gating(false)
-                    .build()
-            }),
+            BuildOptions {
+                diagonal_gating: false,
+                ..max_nodes_options(max_nodes)
+            },
         ),
         (
             "uniform collapse measure",
-            Box::new(|| {
-                ModelBuilder::new(netlist)
-                    .max_nodes(max_nodes)
-                    .collapse_toggles(&[0.5])
-                    .build()
-            }),
+            BuildOptions {
+                collapse_toggles: Some(vec![0.5]),
+                ..max_nodes_options(max_nodes)
+            },
         ),
         (
             "paper-plain (uniform, no gating, no recalibration)",
-            Box::new(|| {
-                ModelBuilder::new(netlist)
-                    .max_nodes(max_nodes)
-                    .collapse_toggles(&[0.5])
-                    .leaf_recalibration(false)
-                    .diagonal_gating(false)
-                    .build()
-            }),
+            BuildOptions {
+                max_nodes: Some(max_nodes),
+                ..BuildOptions::paper_plain()
+            },
         ),
     ];
-    for (name, build) in variants {
-        let model = build();
+    for (name, options) in variants {
+        let model = build_model(netlist, options);
         let eval = evaluate(
             &[&model],
             &sim,

@@ -108,13 +108,7 @@ pub fn approximate_to_measured(
     strategy: ApproxStrategy,
     measure: &ChainMeasure,
 ) -> (Add, ApproxOutcome) {
-    approximate_impl(
-        m,
-        f,
-        max_nodes,
-        strategy,
-        Some(&[(measure.clone(), 1.0)]),
-    )
+    approximate_impl(m, f, max_nodes, strategy, Some(&[(measure.clone(), 1.0)]))
 }
 
 /// [`approximate_to`] under a *mixture* of input measures.
@@ -218,11 +212,12 @@ fn approximate_impl(
             }
         }
         let (g, collapsed) = match best {
-            Some((g, c)) if {
-                // `hi` may have drifted below the best verified k due to
-                // non-monotonicity; re-verify the final candidate.
-                m.size(g.node()) <= max_nodes
-            } =>
+            Some((g, c))
+                if {
+                    // `hi` may have drifted below the best verified k due to
+                    // non-monotonicity; re-verify the final candidate.
+                    m.size(g.node()) <= max_nodes
+                } =>
             {
                 (g, c)
             }

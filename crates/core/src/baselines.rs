@@ -64,9 +64,7 @@ impl TrainingSet {
 
     /// Mean observed switched capacitance.
     pub fn mean(&self) -> Capacitance {
-        Capacitance(
-            self.switched.iter().map(|c| c.femtofarads()).sum::<f64>() / self.len() as f64,
-        )
+        Capacitance(self.switched.iter().map(|c| c.femtofarads()).sum::<f64>() / self.len() as f64)
     }
 
     /// Largest observed switched capacitance.
@@ -192,7 +190,11 @@ impl PowerModel for LinearModel {
     /// below zero out-of-sample; the raw value is returned, as in the
     /// paper's formulation.
     fn capacitance(&self, xi: &[bool], xf: &[bool]) -> Capacitance {
-        assert_eq!(xi.len() + 1, self.coefficients.len(), "pattern width mismatch");
+        assert_eq!(
+            xi.len() + 1,
+            self.coefficients.len(),
+            "pattern width mismatch"
+        );
         let mut c = self.coefficients[0];
         for j in 0..xi.len() {
             if xi[j] != xf[j] {
@@ -274,7 +276,9 @@ mod tests {
         let lib = Library::test_library();
         for i in 0..4 {
             let x = n.add_input(format!("x{i}")).expect("fresh");
-            let y = n.add_gate(charfree_netlist::CellKind::Inv, &[x]).expect("ok");
+            let y = n
+                .add_gate(charfree_netlist::CellKind::Inv, &[x])
+                .expect("ok");
             n.mark_output(y).expect("ok");
         }
         n.annotate_loads(&lib);
@@ -289,8 +293,7 @@ mod tests {
         let load = n.gate(n.driver(n.outputs()[0]).expect("driven")).load();
         for j in 1..=4 {
             assert!(
-                (lin.coefficients()[j] - load.femtofarads() / 2.0).abs()
-                    < load.femtofarads() * 0.2,
+                (lin.coefficients()[j] - load.femtofarads() / 2.0).abs() < load.femtofarads() * 0.2,
                 "coefficient {j} = {}",
                 lin.coefficients()[j]
             );

@@ -25,9 +25,11 @@ use crate::degrade::{BuildError, DegradationReport, DegradationRung};
 use crate::model::{AddPowerModel, BuildReport, VariableOrdering};
 use charfree_dd::reorder::reorder_paired_windows;
 use charfree_dd::{
-    Add, Bdd, Budget, CancelToken, ChainMeasure, DdError, Manager, NodeId, Resource, Var,
+    Add, ApplyStats, Bdd, Budget, CancelToken, ChainMeasure, DdError, Manager, NodeId, Resource,
+    Var,
 };
 use charfree_netlist::{CellKind, Netlist};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How macro inputs are arranged along the diagram's variable order.
@@ -85,6 +87,7 @@ pub struct ModelBuilder<'a> {
     cancel: Option<CancelToken>,
     trips: Vec<u64>,
     strict: bool,
+    stats: Option<Arc<ApplyStats>>,
 }
 
 /// Default toggle-probability family the collapse mixture spans; chosen to
@@ -112,6 +115,7 @@ impl<'a> ModelBuilder<'a> {
             cancel: None,
             trips: Vec::new(),
             strict: false,
+            stats: None,
         }
     }
 
@@ -266,6 +270,17 @@ impl<'a> ModelBuilder<'a> {
         self
     }
 
+    /// Attaches a shared telemetry sink that accumulates apply-step counts
+    /// and peak arena pressure across every budget checkpoint of this
+    /// build (see [`ApplyStats`]). The sink is additive and may be shared
+    /// across builds; a run that never enters the symbolic phase — e.g. a
+    /// warm cache hit upstream — leaves it untouched, which is how callers
+    /// prove a model was *not* rebuilt.
+    pub fn stats(mut self, sink: Arc<ApplyStats>) -> Self {
+        self.stats = Some(sink);
+        self
+    }
+
     /// Runs the construction, panicking on failure.
     ///
     /// Without a resource budget configured the construction cannot fail,
@@ -321,7 +336,27 @@ impl<'a> ModelBuilder<'a> {
     /// assert!(!report.rungs.is_empty());
     /// ```
     pub fn try_build(self) -> Result<AddPowerModel, BuildError> {
-        self.netlist.validate().map_err(BuildError::InvalidNetlist)?;
+        Ok(self.try_accumulate()?.collapse())
+    }
+
+    /// Stage 1 of the construction: runs the budgeted gate loop of the
+    /// paper's Fig. 6 (node-function BDDs, rise conditions, binary-counter
+    /// partial sums, the full degradation ladder) and stops *before* the
+    /// partial sums are folded into one diagram. The returned
+    /// [`PartialBuild`] owns the live arena; [`PartialBuild::collapse`]
+    /// finishes the model.
+    ///
+    /// [`ModelBuilder::try_build`] is exactly
+    /// `try_accumulate()?.collapse()` — the split exists so staged drivers
+    /// (the pipeline crate) can time and report the two phases separately.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ModelBuilder::try_build`].
+    pub fn try_accumulate(self) -> Result<PartialBuild<'a>, BuildError> {
+        self.netlist
+            .validate()
+            .map_err(BuildError::InvalidNetlist)?;
         let trace = std::env::var_os("CHARFREE_BUILD_TRACE").is_some();
         let start = Instant::now();
 
@@ -337,6 +372,9 @@ impl<'a> ModelBuilder<'a> {
         }
         if let Some(token) = &self.cancel {
             budget = budget.with_cancel_token(token.clone());
+        }
+        if let Some(sink) = &self.stats {
+            budget = budget.with_stats(sink.clone());
         }
         for &trip in &self.trips {
             budget = budget.trip_after(trip);
@@ -400,7 +438,6 @@ impl<'a> ModelBuilder<'a> {
                 .collect(),
             VariableOrdering::Grouped => vec![(ChainMeasure::uniform(2 * n as u32), 1.0)],
         };
-        let mut c = m.add_zero();
         let mut rounds = 0usize;
         let mut collapsed = 0usize;
         // Analytic per-measure means of the exact switching capacitance,
@@ -607,7 +644,13 @@ impl<'a> ModelBuilder<'a> {
                 }
                 DegradationRung::ReorderVariables => {
                     reorderings += 1;
-                    reorder_live(&mut m, &mut sig_i, &mut sig_f, &mut pending, &mut input_slots);
+                    reorder_live(
+                        &mut m,
+                        &mut sig_i,
+                        &mut sig_f,
+                        &mut pending,
+                        &mut input_slots,
+                    );
                     compact_live(&mut m, &mut sig_i, &mut sig_f, &mut pending);
                     m.clear_caches();
                     name_transition_vars(self.netlist, self.ordering, &input_slots, &mut m);
@@ -633,97 +676,6 @@ impl<'a> ModelBuilder<'a> {
             }
         }
 
-        // Fold the counter into the final accumulator. This runs
-        // unbudgeted: a trip here could only re-shed what the ladder
-        // already shed, and the size cap below still applies.
-        for slot in pending.into_iter().flatten() {
-            c = merge_bounded(
-                &mut m,
-                c,
-                slot,
-                cap,
-                quantum,
-                self.strategy,
-                &mixture,
-                &mut rounds,
-                &mut collapsed,
-            );
-        }
-
-        // Enforce the size ceiling exactly before gating/recalibration.
-        if let Some(max) = cap {
-            if m.size(c.node()) > max {
-                let (c2, out) = approximate_to_mixture(&mut m, c, max, self.strategy, &mixture);
-                c = c2;
-                rounds += out.rounds;
-                collapsed += out.nodes_collapsed;
-            }
-        }
-
-        let fallback_fired = deg.fired(DegradationRung::ConstantFallback);
-
-        // Restore exactness on the no-transition diagonal: C(x, x) = 0 for
-        // every x (no signal can rise without an input transition), but
-        // collapse leaves make the diagonal positive, which wrecks relative
-        // accuracy at low transition activity where most cycles are idle.
-        // Gating with the "any input toggles" indicator (a 2n-node BDD
-        // chain) zeroes the diagonal exactly; values off the diagonal are
-        // untouched, so average- and upper-bound properties are preserved.
-        // Gating costs at least a 2n-node chain; below that budget the
-        // model cannot afford it (and degenerates gracefully). Under the
-        // grouped ordering the "any toggle" indicator must remember the
-        // whole xⁱ block (up to 2ⁿ nodes) and its product with the model
-        // explodes, so gating is interleaved-only. Constant-fallback models
-        // skip gating: their constant tail dominates the diagonal anyway
-        // and the product is one more place to blow up.
-        let gate_feasible = self.ordering == VariableOrdering::Interleaved
-            && cap.is_none_or(|max| max >= 4 * n + 8);
-        if collapsed > 0 && gate_feasible && self.diagonal_gating && !fallback_fired {
-            let toggles = any_toggle_bdd(&mut m, n, self.ordering, &input_slots);
-            let mut target = cap.unwrap_or(usize::MAX);
-            loop {
-                let gated = m.add_times(c, toggles.as_add());
-                if cap.is_none_or(|max| m.size(gated.node()) <= max) {
-                    c = gated;
-                    break;
-                }
-                // Shrink the ungated model further and retry; gating only
-                // redirects paths into the 0 terminal, and in the limit
-                // (target = 1) the gated constant-times-indicator chain is
-                // smaller than the `4n + 8` feasibility floor, so the loop
-                // always terminates with a gated model.
-                target = std::cmp::max(target * 3 / 4, 1);
-                let (c2, out) = approximate_to_mixture(&mut m, c, target, self.strategy, &mixture);
-                c = c2;
-                rounds += out.rounds;
-                collapsed += out.nodes_collapsed;
-            }
-        }
-
-        if self.recalibrate
-            && collapsed > 0
-            && self.strategy == ApproxStrategy::Average
-            && !fallback_fired
-        {
-            c = recalibrate_leaves(&mut m, c, &mixture, &exact_means, 0.05);
-        }
-        let exact_means = exact_means; // moved into the model below
-
-        // The constant tail goes in *after* the ceiling is enforced:
-        // adding a constant re-labels terminals without changing the
-        // diagram shape, so the size stays within the cap.
-        if constant_tail > 0.0 {
-            let tail = m.constant(constant_tail);
-            c = m.add_plus(c, tail);
-        }
-
-        let report = BuildReport {
-            approximation_rounds: rounds,
-            nodes_collapsed: collapsed,
-            final_size: m.size(c.node()),
-            exact: collapsed == 0 && !fallback_fired,
-            cpu: start.elapsed(),
-        };
         deg.gates_folded = gates_folded;
         deg.constant_tail_ff = constant_tail;
         deg.gate_retries = gate_ids
@@ -735,32 +687,21 @@ impl<'a> ModelBuilder<'a> {
                 (self.netlist.signal_name(out).to_owned(), retries[i])
             })
             .collect();
-        // Final cleanup: drop everything but the model itself.
-        let roots = m.compact(&[c.node()]);
-        let root = Add::from_node(roots[0]);
-        deg.final_nodes = m.size(root.node());
-        Ok(AddPowerModel {
-            manager: m,
-            root,
-            num_inputs: n,
-            ordering: self.ordering,
+        Ok(PartialBuild {
+            builder: self,
+            m,
+            pending,
+            cap,
+            quantum,
+            mixture,
+            exact_means,
+            deg,
+            rounds,
+            collapsed,
+            constant_tail,
             input_slots,
-            collapse_mixture: mixture,
-            // A fallback model's means are incomplete; recalibrating a
-            // later `shrink` against them would skew the model.
-            exact_means: if self.recalibrate && !fallback_fired {
-                Some(exact_means)
-            } else {
-                None
-            },
-            report: BuildReport {
-                final_size: 0, // refreshed below
-                ..report
-            },
-            degradation: if deg.rungs.is_empty() { None } else { Some(deg) },
-            display_name: "ADD".to_owned(),
-        }
-        .with_refreshed_size())
+            start,
+        })
     }
 
     /// Maps every input index to its order slot per the configured
@@ -785,8 +726,7 @@ impl<'a> ModelBuilder<'a> {
             }
             InputOrder::FaninDfs => {
                 // Input index per signal (primary inputs only).
-                let mut input_of_signal =
-                    vec![usize::MAX; self.netlist.num_signals()];
+                let mut input_of_signal = vec![usize::MAX; self.netlist.num_signals()];
                 for (i, &sig) in self.netlist.inputs().iter().enumerate() {
                     input_of_signal[sig.index()] = i;
                 }
@@ -830,6 +770,190 @@ impl<'a> ModelBuilder<'a> {
                 slots
             }
         }
+    }
+}
+
+/// The state of a construction after [`ModelBuilder::try_accumulate`]:
+/// every gate's contribution sits in the binary-counter partial sums (or
+/// the conservative constant tail, if the degradation ladder folded it
+/// there), but the sums have not been combined, gated, or recalibrated
+/// yet. Consume it with [`PartialBuild::collapse`].
+#[derive(Debug)]
+pub struct PartialBuild<'a> {
+    builder: ModelBuilder<'a>,
+    m: Manager,
+    pending: Vec<Option<Add>>,
+    cap: Option<usize>,
+    quantum: f64,
+    mixture: Vec<(ChainMeasure, f64)>,
+    exact_means: ExactMeans,
+    deg: DegradationReport,
+    rounds: usize,
+    collapsed: usize,
+    constant_tail: f64,
+    input_slots: Vec<usize>,
+    start: Instant,
+}
+
+impl<'a> PartialBuild<'a> {
+    /// Live nodes currently in the construction arena (partial sums plus
+    /// any still-referenced node functions).
+    pub fn arena_nodes(&self) -> usize {
+        self.m.arena_len()
+    }
+
+    /// Degradation rungs the accumulate phase took (empty for a clean
+    /// build).
+    pub fn degradation_rungs(&self) -> usize {
+        self.deg.rungs.len()
+    }
+
+    /// Stage 2 of the construction: folds the pending partial sums into
+    /// one diagram, enforces the size ceiling, gates the no-transition
+    /// diagonal, recalibrates leaves, adds the conservative constant tail
+    /// and compacts the arena down to the finished model. Infallible —
+    /// every budgeted step already ran in
+    /// [`ModelBuilder::try_accumulate`]; this phase only shrinks.
+    pub fn collapse(self) -> AddPowerModel {
+        let PartialBuild {
+            builder,
+            mut m,
+            pending,
+            cap,
+            quantum,
+            mixture,
+            exact_means,
+            mut deg,
+            mut rounds,
+            mut collapsed,
+            constant_tail,
+            input_slots,
+            start,
+        } = self;
+        let n = builder.netlist.num_inputs();
+        let mut c = m.add_zero();
+
+        // Fold the counter into the final accumulator. This runs
+        // unbudgeted: a trip here could only re-shed what the ladder
+        // already shed, and the size cap below still applies.
+        for slot in pending.into_iter().flatten() {
+            c = merge_bounded(
+                &mut m,
+                c,
+                slot,
+                cap,
+                quantum,
+                builder.strategy,
+                &mixture,
+                &mut rounds,
+                &mut collapsed,
+            );
+        }
+
+        // Enforce the size ceiling exactly before gating/recalibration.
+        if let Some(max) = cap {
+            if m.size(c.node()) > max {
+                let (c2, out) = approximate_to_mixture(&mut m, c, max, builder.strategy, &mixture);
+                c = c2;
+                rounds += out.rounds;
+                collapsed += out.nodes_collapsed;
+            }
+        }
+
+        let fallback_fired = deg.fired(DegradationRung::ConstantFallback);
+
+        // Restore exactness on the no-transition diagonal: C(x, x) = 0 for
+        // every x (no signal can rise without an input transition), but
+        // collapse leaves make the diagonal positive, which wrecks relative
+        // accuracy at low transition activity where most cycles are idle.
+        // Gating with the "any input toggles" indicator (a 2n-node BDD
+        // chain) zeroes the diagonal exactly; values off the diagonal are
+        // untouched, so average- and upper-bound properties are preserved.
+        // Gating costs at least a 2n-node chain; below that budget the
+        // model cannot afford it (and degenerates gracefully). Under the
+        // grouped ordering the "any toggle" indicator must remember the
+        // whole xⁱ block (up to 2ⁿ nodes) and its product with the model
+        // explodes, so gating is interleaved-only. Constant-fallback models
+        // skip gating: their constant tail dominates the diagonal anyway
+        // and the product is one more place to blow up.
+        let gate_feasible = builder.ordering == VariableOrdering::Interleaved
+            && cap.is_none_or(|max| max >= 4 * n + 8);
+        if collapsed > 0 && gate_feasible && builder.diagonal_gating && !fallback_fired {
+            let toggles = any_toggle_bdd(&mut m, n, builder.ordering, &input_slots);
+            let mut target = cap.unwrap_or(usize::MAX);
+            loop {
+                let gated = m.add_times(c, toggles.as_add());
+                if cap.is_none_or(|max| m.size(gated.node()) <= max) {
+                    c = gated;
+                    break;
+                }
+                // Shrink the ungated model further and retry; gating only
+                // redirects paths into the 0 terminal, and in the limit
+                // (target = 1) the gated constant-times-indicator chain is
+                // smaller than the `4n + 8` feasibility floor, so the loop
+                // always terminates with a gated model.
+                target = std::cmp::max(target * 3 / 4, 1);
+                let (c2, out) =
+                    approximate_to_mixture(&mut m, c, target, builder.strategy, &mixture);
+                c = c2;
+                rounds += out.rounds;
+                collapsed += out.nodes_collapsed;
+            }
+        }
+
+        if builder.recalibrate
+            && collapsed > 0
+            && builder.strategy == ApproxStrategy::Average
+            && !fallback_fired
+        {
+            c = recalibrate_leaves(&mut m, c, &mixture, &exact_means, 0.05);
+        }
+
+        // The constant tail goes in *after* the ceiling is enforced:
+        // adding a constant re-labels terminals without changing the
+        // diagram shape, so the size stays within the cap.
+        if constant_tail > 0.0 {
+            let tail = m.constant(constant_tail);
+            c = m.add_plus(c, tail);
+        }
+
+        let report = BuildReport {
+            approximation_rounds: rounds,
+            nodes_collapsed: collapsed,
+            final_size: m.size(c.node()),
+            exact: collapsed == 0 && !fallback_fired,
+            cpu: start.elapsed(),
+        };
+        // Final cleanup: drop everything but the model itself.
+        let roots = m.compact(&[c.node()]);
+        let root = Add::from_node(roots[0]);
+        deg.final_nodes = m.size(root.node());
+        AddPowerModel {
+            manager: m,
+            root,
+            num_inputs: n,
+            ordering: builder.ordering,
+            input_slots,
+            collapse_mixture: mixture,
+            // A fallback model's means are incomplete; recalibrating a
+            // later `shrink` against them would skew the model.
+            exact_means: if builder.recalibrate && !fallback_fired {
+                Some(exact_means)
+            } else {
+                None
+            },
+            report: BuildReport {
+                final_size: 0, // refreshed below
+                ..report
+            },
+            degradation: if deg.rungs.is_empty() {
+                None
+            } else {
+                Some(deg)
+            },
+            display_name: "ADD".to_owned(),
+        }
+        .with_refreshed_size()
     }
 }
 
@@ -1267,9 +1391,8 @@ mod tests {
         // Exact up to terminal quantization (total_load / 2^14 grid).
         let tolerance = netlist.total_load().femtofarads() / 8192.0;
         assert!(
-            (exact.average_capacitance().femtofarads()
-                - rough.average_capacitance().femtofarads())
-            .abs()
+            (exact.average_capacitance().femtofarads() - rough.average_capacitance().femtofarads())
+                .abs()
                 < tolerance
         );
     }
@@ -1311,7 +1434,9 @@ mod tests {
         let lib = Library::test_library();
         let netlist = charfree_netlist::benchmarks::cm85(&lib);
         let every_gate = ModelBuilder::new(&netlist).compact_every(1).build();
-        let never = ModelBuilder::new(&netlist).compact_every(usize::MAX).build();
+        let never = ModelBuilder::new(&netlist)
+            .compact_every(usize::MAX)
+            .build();
         for (xi, xf) in ExhaustivePairs::new(11).take(512) {
             assert_eq!(
                 every_gate.capacitance(&xi, &xf),

@@ -72,10 +72,7 @@ pub(crate) fn recalibrate_leaves(
 
     // All adjustable terminals (non-zero values).
     let terminals: Vec<NodeId> = {
-        let mut set: Vec<NodeId> = q
-            .iter()
-            .flat_map(|map| map.keys().copied())
-            .collect();
+        let mut set: Vec<NodeId> = q.iter().flat_map(|map| map.keys().copied()).collect();
         set.sort();
         set.dedup();
         set
@@ -124,9 +121,7 @@ pub(crate) fn recalibrate_leaves(
         let old = m.terminal_value(*id);
         new_value.insert(old.to_bits(), (old + delta).max(0.0));
     }
-    m.add_map_terminals(model, |v| {
-        new_value.get(&v.to_bits()).copied().unwrap_or(v)
-    })
+    m.add_map_terminals(model, |v| new_value.get(&v.to_bits()).copied().unwrap_or(v))
 }
 
 #[cfg(test)]
@@ -160,7 +155,12 @@ mod tests {
         let toggles = [0.1, 0.5, 0.9];
         let mixture: Vec<(ChainMeasure, f64)> = toggles
             .iter()
-            .map(|&t| (ChainMeasure::interleaved_transitions(pairs, 0.5, t), 1.0 / 3.0))
+            .map(|&t| {
+                (
+                    ChainMeasure::interleaved_transitions(pairs, 0.5, t),
+                    1.0 / 3.0,
+                )
+            })
             .collect();
         let exact_means = ExactMeans(
             mixture

@@ -63,6 +63,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// `.unwrap()` is banned crate-wide; `.expect()` remains available for
+// invariants with a stated justification, and tests are exempt.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod approx;
 mod baselines;
@@ -79,11 +83,10 @@ mod rtl;
 
 pub use approx::{
     approximate_to, approximate_to_measured, approximate_to_mixture, approximate_to_unweighted,
-    ApproxOutcome,
-    ApproxStrategy,
+    ApproxOutcome, ApproxStrategy,
 };
 pub use baselines::{ConstantModel, LinearModel, TrainingSet};
-pub use builder::{InputOrder, ModelBuilder};
+pub use builder::{InputOrder, ModelBuilder, PartialBuild};
 pub use charfree_dd::{CancelToken, Resource};
 pub use degrade::{BuildError, DegradationReport, DegradationRung};
 pub use eval::{evaluate, fig7a_grid, Evaluation, Protocol, RunPoint};

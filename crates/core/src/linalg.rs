@@ -52,7 +52,12 @@ fn solve(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     for col in 0..k {
         // Pivot.
         let pivot = (col..k)
-            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         m.swap(col, pivot);
         b.swap(col, pivot);
@@ -104,9 +109,7 @@ mod tests {
     #[test]
     fn overdetermined_minimizes_residual() {
         // Noisy y; check the fit beats the constant fit.
-        let rows: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![1.0, (i % 7) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![1.0, (i % 7) as f64]).collect();
         let y: Vec<f64> = rows
             .iter()
             .enumerate()

@@ -35,7 +35,10 @@ pub trait PowerModel {
             return Vec::new();
         }
         (0..patterns.len() - 1)
-            .map(|t| self.capacitance(&patterns[t], &patterns[t + 1]).femtofarads())
+            .map(|t| {
+                self.capacitance(&patterns[t], &patterns[t + 1])
+                    .femtofarads()
+            })
             .collect()
     }
 
@@ -493,7 +496,10 @@ mod reorder_tests {
         for trial in 0..64u32 {
             let xi: Vec<bool> = (0..11).map(|i| trial >> (i % 6) & 1 == 1).collect();
             let xf: Vec<bool> = (0..11).map(|i| trial >> ((i + 3) % 6) & 1 == 1).collect();
-            assert_eq!(fixed.capacitance(&xi, &xf), sim.switching_capacitance(&xi, &xf));
+            assert_eq!(
+                fixed.capacitance(&xi, &xf),
+                sim.switching_capacitance(&xi, &xf)
+            );
         }
     }
 }

@@ -177,7 +177,9 @@ impl AddPowerModel {
                 if let Some(p) = tok.strip_prefix("i:") {
                     items.push(VarMeasure::Independent(unhex(p)?));
                 } else if let Some(rest) = tok.strip_prefix("c:") {
-                    let (a, b) = rest.split_once(':').ok_or_else(|| bad("bad measure item"))?;
+                    let (a, b) = rest
+                        .split_once(':')
+                        .ok_or_else(|| bad("bad measure item"))?;
                     items.push(VarMeasure::Correlated {
                         when_prev_false: unhex(a)?,
                         when_prev_true: unhex(b)?,
@@ -307,8 +309,7 @@ mod tests {
         let text = "charfree-model v1\nname x\ninputs 2\nordering diagonal\n";
         assert!(AddPowerModel::load(text.as_bytes()).is_err());
         // Bad slot permutation.
-        let text =
-            "charfree-model v1\nname x\ninputs 2\nordering interleaved\nslots 0 0\n";
+        let text = "charfree-model v1\nname x\ninputs 2\nordering interleaved\nslots 0 0\n";
         assert!(AddPowerModel::load(text.as_bytes()).is_err());
     }
 }

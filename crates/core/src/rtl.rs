@@ -41,7 +41,10 @@ impl fmt::Display for RtlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RtlError::InputOutOfRange { instance, index } => {
-                write!(f, "instance `{instance}` maps input to out-of-range bus bit {index}")
+                write!(
+                    f,
+                    "instance `{instance}` maps input to out-of-range bus bit {index}"
+                )
             }
             RtlError::WidthMismatch {
                 instance,
@@ -241,12 +244,8 @@ mod tests {
                 .max_nodes(200)
                 .strategy(ApproxStrategy::UpperBound)
                 .build();
-            d.add_instance(
-                format!("dec{k}"),
-                bound,
-                (0..5).map(|i| base + i).collect(),
-            )
-            .expect("ok");
+            d.add_instance(format!("dec{k}"), bound, (0..5).map(|i| base + i).collect())
+                .expect("ok");
         }
         let worst = d.worst_case_sum();
         // A gentle transition: one address bit toggles on one decoder.

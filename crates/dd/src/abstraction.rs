@@ -45,7 +45,8 @@ impl Manager {
 
     /// `apply` for node handles (crate-internal plumbing for abstraction).
     pub(crate) fn apply_public(&mut self, op: BinOp, a: NodeId, b: NodeId) -> NodeId {
-        self.add_apply(op, Add::from_node(a), Add::from_node(b)).node()
+        self.add_apply(op, Add::from_node(a), Add::from_node(b))
+            .node()
     }
 
     /// Iterates the satisfying set of a BDD as cubes.

@@ -60,7 +60,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -172,6 +172,68 @@ impl CancelToken {
     }
 }
 
+/// Live telemetry counters fed by [`Budget::checkpoint`] — the hook a
+/// pipeline or monitoring layer attaches to observe symbolic work as it
+/// happens.
+///
+/// Unlike the budget's own step counter (which lives in one `Budget` and
+/// dies with it), an `ApplyStats` is an `Arc`-shared, thread-safe
+/// accumulator: attach one to every budget of a job and it totals the
+/// cache-missing apply/ITE steps and tracks peak arena occupancy across
+/// the whole job. Reading the counters never blocks the hot path — the
+/// checkpoint uses relaxed atomics.
+///
+/// # Examples
+///
+/// ```
+/// use charfree_dd::{ApplyStats, Budget, Manager, Var};
+///
+/// let stats = ApplyStats::shared();
+/// let budget = Budget::unlimited().with_stats(stats.clone());
+/// let mut m = Manager::new(4);
+/// let a = m.bdd_var(Var(0));
+/// let b = m.bdd_var(Var(1));
+/// m.try_bdd_and(a, b, &budget).expect("unlimited");
+/// assert!(stats.apply_steps() > 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct ApplyStats {
+    steps: AtomicU64,
+    peak_live_nodes: AtomicU64,
+    peak_arena_bytes: AtomicU64,
+}
+
+impl ApplyStats {
+    /// A fresh shared counter set, ready to attach with
+    /// [`Budget::with_stats`].
+    pub fn shared() -> Arc<Self> {
+        Arc::new(ApplyStats::default())
+    }
+
+    /// Total cache-missing apply/ITE recursion steps observed.
+    pub fn apply_steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Highest arena population (nodes) seen at any checkpoint.
+    pub fn peak_live_nodes(&self) -> u64 {
+        self.peak_live_nodes.load(Ordering::Relaxed)
+    }
+
+    /// Highest approximate arena memory (bytes) seen at any checkpoint.
+    pub fn peak_arena_bytes(&self) -> u64 {
+        self.peak_arena_bytes.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, live_nodes: usize, arena_bytes: usize) {
+        self.steps.fetch_add(1, Ordering::Relaxed);
+        self.peak_live_nodes
+            .fetch_max(live_nodes as u64, Ordering::Relaxed);
+        self.peak_arena_bytes
+            .fetch_max(arena_bytes as u64, Ordering::Relaxed);
+    }
+}
+
 /// Resource limits for symbolic operations, checked at recursion
 /// checkpoints.
 ///
@@ -186,6 +248,7 @@ pub struct Budget {
     max_apply_steps: Option<u64>,
     deadline: Option<(Instant, Duration)>,
     cancel: Option<CancelToken>,
+    stats: Option<Arc<ApplyStats>>,
     steps: Cell<u64>,
     /// Relative checkpoint countdowns for scheduled fault-injection
     /// trips; the front countdown starts after the previous trip fires.
@@ -225,6 +288,14 @@ impl Budget {
     /// Attaches a cooperative cancellation token.
     pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a shared [`ApplyStats`] telemetry sink: every checkpoint
+    /// feeds the counters (relaxed atomics, negligible cost). Several
+    /// budgets can share one sink, accumulating job-wide totals.
+    pub fn with_stats(mut self, stats: Arc<ApplyStats>) -> Self {
+        self.stats = Some(stats);
         self
     }
 
@@ -276,6 +347,9 @@ impl Budget {
     pub fn checkpoint(&self, live_nodes: usize, arena_bytes: usize) -> Result<(), DdError> {
         let steps = self.steps.get() + 1;
         self.steps.set(steps);
+        if let Some(stats) = &self.stats {
+            stats.record(live_nodes, arena_bytes);
+        }
 
         {
             let mut trips = self.trips.borrow_mut();
@@ -434,6 +508,22 @@ mod tests {
         for _ in 0..100 {
             assert!(b.checkpoint(0, 0).is_ok()); // disarmed afterwards
         }
+    }
+
+    #[test]
+    fn stats_sink_accumulates_across_budgets() {
+        let stats = ApplyStats::shared();
+        let a = Budget::unlimited().with_stats(stats.clone());
+        let b = Budget::unlimited().with_stats(stats.clone());
+        for _ in 0..3 {
+            a.checkpoint(10, 100).expect("unlimited");
+        }
+        for _ in 0..2 {
+            b.checkpoint(50, 20).expect("unlimited");
+        }
+        assert_eq!(stats.apply_steps(), 5);
+        assert_eq!(stats.peak_live_nodes(), 50);
+        assert_eq!(stats.peak_arena_bytes(), 100);
     }
 
     #[test]

@@ -77,7 +77,12 @@ impl Manager {
         budget: &Budget,
     ) -> Result<Add, DdError> {
         let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
-        Ok(Add(self.collapse_rec(f.node(), replacements, &mut memo, budget)?))
+        Ok(Add(self.collapse_rec(
+            f.node(),
+            replacements,
+            &mut memo,
+            budget,
+        )?))
     }
 
     fn collapse_rec(

@@ -44,14 +44,15 @@ pub fn write_diagram<W: Write>(m: &Manager, root: NodeId, mut w: W) -> io::Resul
     }
     let mut terminals: Vec<NodeId> = Vec::new();
     let mut term_index = crate::hash::FxHashMap::default();
-    let note_terminal = |id: NodeId,
-                             terminals: &mut Vec<NodeId>,
-                             term_index: &mut crate::hash::FxHashMap<NodeId, usize>| {
-        if id.is_terminal() && !term_index.contains_key(&id) {
-            term_index.insert(id, terminals.len());
-            terminals.push(id);
-        }
-    };
+    let note_terminal =
+        |id: NodeId,
+         terminals: &mut Vec<NodeId>,
+         term_index: &mut crate::hash::FxHashMap<NodeId, usize>| {
+            if id.is_terminal() && !term_index.contains_key(&id) {
+                term_index.insert(id, terminals.len());
+                terminals.push(id);
+            }
+        };
     note_terminal(root, &mut terminals, &mut term_index);
     for &id in &nodes {
         let (lo, hi) = m.children(id);
@@ -155,10 +156,16 @@ pub fn read_diagram<R: BufRead>(m: &mut Manager, r: R) -> io::Result<NodeId> {
     let decode = |tok: &str, terminals: &[NodeId], nodes: &[NodeId]| -> io::Result<NodeId> {
         if let Some(i) = tok.strip_prefix('T') {
             let i: usize = i.parse().map_err(|_| bad("bad terminal ref"))?;
-            terminals.get(i).copied().ok_or_else(|| bad("terminal ref out of range"))
+            terminals
+                .get(i)
+                .copied()
+                .ok_or_else(|| bad("terminal ref out of range"))
         } else if let Some(i) = tok.strip_prefix('N') {
             let i: usize = i.parse().map_err(|_| bad("bad node ref"))?;
-            nodes.get(i).copied().ok_or_else(|| bad("forward node reference"))
+            nodes
+                .get(i)
+                .copied()
+                .ok_or_else(|| bad("forward node reference"))
         } else {
             Err(bad(format!("bad reference `{tok}`")))
         }
@@ -222,7 +229,10 @@ mod tests {
         let g = Add::from_node(root);
         for bits in 0..64u32 {
             let asg: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
-            assert_eq!(m.add_eval(f, &asg).to_bits(), m2.add_eval(g, &asg).to_bits());
+            assert_eq!(
+                m.add_eval(f, &asg).to_bits(),
+                m2.add_eval(g, &asg).to_bits()
+            );
         }
         assert_eq!(m.size(f.node()), m2.size(root));
     }

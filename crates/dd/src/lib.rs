@@ -51,6 +51,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// `.unwrap()` is banned crate-wide; `.expect()` remains available for
+// invariants with a stated justification, and tests are exempt.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod hash;
 pub mod io;
@@ -64,7 +68,7 @@ pub mod reorder;
 mod stats;
 
 pub use abstraction::Cubes;
-pub use budget::{Budget, CancelToken, DdError, Resource};
+pub use budget::{ApplyStats, Budget, CancelToken, DdError, Resource};
 pub use manager::{Add, Bdd, BinOp, Manager};
 pub use node::{NodeId, Var};
 pub use stats::{AddStats, ChainMeasure, MeasuredNode, NodeStats, VarMeasure};

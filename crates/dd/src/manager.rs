@@ -397,7 +397,10 @@ impl Manager {
             return lo;
         }
         assert!(var < self.num_vars, "variable out of range");
-        debug_assert!(self.level(lo) > var && self.level(hi) > var, "order violation");
+        debug_assert!(
+            self.level(lo) > var && self.level(hi) > var,
+            "order violation"
+        );
         let key = Node { var, lo, hi };
         if let Some(&id) = self.unique.get(&key) {
             return id;
@@ -817,7 +820,11 @@ impl Manager {
         perm: &[Var],
         budget: &Budget,
     ) -> Result<NodeId, DdError> {
-        assert_eq!(perm.len(), self.num_vars as usize, "permutation size mismatch");
+        assert_eq!(
+            perm.len(),
+            self.num_vars as usize,
+            "permutation size mismatch"
+        );
         let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
         self.permute_rec(f, perm, budget, &mut memo)
     }
@@ -914,7 +921,11 @@ impl Manager {
             }
         }
 
-        let (a, b) = if op.is_commutative() && g < f { (g, f) } else { (f, g) };
+        let (a, b) = if op.is_commutative() && g < f {
+            (g, f)
+        } else {
+            (f, g)
+        };
         let key = (op.opcode(), a, b);
         if let Some(&r) = self.cache2.get(&key) {
             return Ok(r);
@@ -968,10 +979,7 @@ impl Manager {
         // Recursion checkpoint (cache miss — see `apply_in`).
         budget.checkpoint(self.arena_len(), self.arena_bytes())?;
 
-        let level = self
-            .level(f)
-            .min(self.level(g))
-            .min(self.level(h));
+        let level = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = self.expand(f, level);
         let (g0, g1) = self.expand(g, level);
         let (h0, h1) = self.expand(h, level);
@@ -1010,7 +1018,11 @@ impl Manager {
     fn eval_node(&self, mut f: NodeId, assignment: &[bool]) -> f64 {
         while !f.is_terminal() {
             let n = &self.nodes[f.arena_index()];
-            f = if assignment[n.var as usize] { n.hi } else { n.lo };
+            f = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         self.terminal_value(f)
     }
@@ -1210,7 +1222,11 @@ impl Manager {
 
     fn sat_frac(&self, f: NodeId, memo: &mut FxHashMap<NodeId, f64>) -> f64 {
         if f.is_terminal() {
-            return if self.terminal_value(f) != 0.0 { 1.0 } else { 0.0 };
+            return if self.terminal_value(f) != 0.0 {
+                1.0
+            } else {
+                0.0
+            };
         }
         if let Some(&r) = memo.get(&f) {
             return r;

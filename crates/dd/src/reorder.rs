@@ -133,7 +133,10 @@ pub fn reorder_paired_windows(
     passes: usize,
 ) -> (NodeId, Vec<usize>) {
     assert!((2..=4).contains(&window), "window must be 2..=4");
-    assert!(m.num_vars().is_multiple_of(2), "paired reordering needs an even variable count");
+    assert!(
+        m.num_vars().is_multiple_of(2),
+        "paired reordering needs an even variable count"
+    );
     let pairs = (m.num_vars() / 2) as usize;
     let mut placement: Vec<usize> = (0..pairs).collect();
     let mut root = root;
@@ -215,13 +218,7 @@ mod tests {
         acc
     }
 
-    fn check_semantics(
-        m: &Manager,
-        original: Add,
-        reordered: NodeId,
-        placement: &[usize],
-        n: u32,
-    ) {
+    fn check_semantics(m: &Manager, original: Add, reordered: NodeId, placement: &[usize], n: u32) {
         for bits in 0..1u32 << n {
             let asg: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
             let pulled = pull_assignment(placement, &asg);

@@ -508,8 +508,7 @@ impl Manager {
         let (al, vl) = self.profile_down(lo, lo_ctx, measure, avg_var, min_max);
         let (ah, vh) = self.profile_down(hi, hi_ctx, measure, avg_var, min_max);
         let avg = (1.0 - p1) * al + p1 * ah;
-        let var = (1.0 - p1) * (vl + (al - avg) * (al - avg))
-            + p1 * (vh + (ah - avg) * (ah - avg));
+        let var = (1.0 - p1) * (vl + (al - avg) * (al - avg)) + p1 * (vh + (ah - avg) * (ah - avg));
         avg_var.insert((id, ctx), (avg, var));
         if !min_max.contains_key(&id) {
             let get_mm = |n: NodeId, mm: &FxHashMap<NodeId, (f64, f64)>| -> (f64, f64) {

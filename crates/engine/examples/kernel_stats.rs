@@ -16,7 +16,12 @@ fn main() {
         "{:<8} {:>6} {:>8} {:>10} {:>6} {:>6}",
         "circuit", "inputs", "instrs", "terminals", "bytes", "depth"
     );
-    for (name, max) in [("decod", 0usize), ("cm85", 500), ("cm150", 1000), ("mux", 1000)] {
+    for (name, max) in [
+        ("decod", 0usize),
+        ("cm85", 500),
+        ("cm150", 1000),
+        ("mux", 1000),
+    ] {
         let netlist = benchmarks::by_name(name, &library).expect("known benchmark");
         let mut builder = ModelBuilder::new(&netlist);
         if max > 0 {

@@ -222,6 +222,9 @@ mod tests {
         block.clear();
         assert!(block.is_empty());
         block.push_transition(&kernel, &xi, &xf);
-        assert_eq!(kernel.eval_batch(&block)[0], kernel.eval_transition(&xi, &xf));
+        assert_eq!(
+            kernel.eval_batch(&block)[0],
+            kernel.eval_transition(&xi, &xf)
+        );
     }
 }

@@ -75,7 +75,9 @@ impl PowerModel for CompiledModel {
     }
 
     fn capacitance_trace(&self, patterns: &[Vec<bool>]) -> Vec<f64> {
-        TraceEngine::new(&self.kernel).jobs(self.jobs).trace(patterns)
+        TraceEngine::new(&self.kernel)
+            .jobs(self.jobs)
+            .trace(patterns)
     }
 
     fn name(&self) -> &str {

@@ -73,7 +73,7 @@ impl TraceSummary {
 /// let library = Library::test_library();
 /// let model = ModelBuilder::new(&benchmarks::cm85(&library)).build();
 /// let kernel = Kernel::compile(&model);
-/// let mut source = MarkovSource::new(11, 0.5, 0.5, 1).unwrap();
+/// let mut source = MarkovSource::new(11, 0.5, 0.5, 1).expect("feasible statistics");
 /// let patterns = source.sequence(1000);
 ///
 /// let summary = TraceEngine::new(&kernel).jobs(2).evaluate(&patterns);
@@ -147,8 +147,7 @@ impl<'k> TraceEngine<'k> {
         let transitions = patterns.len() - 1;
         let mut out = vec![0.0f64; transitions];
         {
-            let slices: Vec<(usize, &mut [f64])> =
-                out.chunks_mut(self.chunk).enumerate().collect();
+            let slices: Vec<(usize, &mut [f64])> = out.chunks_mut(self.chunk).enumerate().collect();
             let kernel = self.kernel;
             let chunk = self.chunk;
             let jobs = self.jobs.min(slices.len()).max(1);
@@ -235,8 +234,7 @@ impl<'k> TraceEngine<'k> {
         let mut partials = vec![TraceSummary::empty(); num_chunks];
         {
             let jobs = self.jobs.min(num_chunks).max(1);
-            let slots: Vec<(usize, &mut TraceSummary)> =
-                partials.iter_mut().enumerate().collect();
+            let slots: Vec<(usize, &mut TraceSummary)> = partials.iter_mut().enumerate().collect();
             let run = move |work: Vec<(usize, &mut TraceSummary)>| {
                 let mut block = PatternBlock::new(kernel.num_vars() as usize);
                 let mut values = Vec::new();
@@ -289,7 +287,9 @@ mod tests {
 
     fn cm85_kernel() -> (charfree_core::AddPowerModel, Kernel) {
         let library = Library::test_library();
-        let model = ModelBuilder::new(&benchmarks::cm85(&library)).max_nodes(400).build();
+        let model = ModelBuilder::new(&benchmarks::cm85(&library))
+            .max_nodes(400)
+            .build();
         let kernel = Kernel::compile(&model);
         (model, kernel)
     }
@@ -299,7 +299,10 @@ mod tests {
         let (model, kernel) = cm85_kernel();
         let mut source = MarkovSource::new(11, 0.5, 0.4, 11).expect("feasible");
         let patterns = source.sequence(700);
-        let summary = TraceEngine::new(&kernel).chunk_size(128).jobs(3).evaluate(&patterns);
+        let summary = TraceEngine::new(&kernel)
+            .chunk_size(128)
+            .jobs(3)
+            .evaluate(&patterns);
         assert_eq!(summary.transitions, 699);
         // Reference with the same chunked association.
         let mut want_sum = 0.0f64;
@@ -307,7 +310,9 @@ mod tests {
         for chunk in (0..699).collect::<Vec<_>>().chunks(128) {
             let mut s = 0.0f64;
             for &t in chunk {
-                let c = model.capacitance(&patterns[t], &patterns[t + 1]).femtofarads();
+                let c = model
+                    .capacitance(&patterns[t], &patterns[t + 1])
+                    .femtofarads();
                 s += c;
                 want_max = want_max.max(c);
             }
@@ -322,8 +327,14 @@ mod tests {
         let (_, kernel) = cm85_kernel();
         let mut source = MarkovSource::new(11, 0.5, 0.3, 5).expect("feasible");
         let patterns = source.sequence(1500);
-        let one = TraceEngine::new(&kernel).chunk_size(100).jobs(1).evaluate(&patterns);
-        let eight = TraceEngine::new(&kernel).chunk_size(100).jobs(8).evaluate(&patterns);
+        let one = TraceEngine::new(&kernel)
+            .chunk_size(100)
+            .jobs(1)
+            .evaluate(&patterns);
+        let eight = TraceEngine::new(&kernel)
+            .chunk_size(100)
+            .jobs(8)
+            .evaluate(&patterns);
         assert_eq!(one.sum_ff.to_bits(), eight.sum_ff.to_bits());
         assert_eq!(one.max_ff.to_bits(), eight.max_ff.to_bits());
         assert_eq!(one.transitions, eight.transitions);
@@ -334,12 +345,18 @@ mod tests {
         let (model, kernel) = cm85_kernel();
         let mut source = MarkovSource::new(11, 0.5, 0.6, 7).expect("feasible");
         let patterns = source.sequence(300);
-        let trace = TraceEngine::new(&kernel).chunk_size(64).jobs(4).trace(&patterns);
+        let trace = TraceEngine::new(&kernel)
+            .chunk_size(64)
+            .jobs(4)
+            .trace(&patterns);
         assert_eq!(trace.len(), 299);
         for (t, &c) in trace.iter().enumerate() {
             assert_eq!(
                 c.to_bits(),
-                model.capacitance(&patterns[t], &patterns[t + 1]).femtofarads().to_bits()
+                model
+                    .capacitance(&patterns[t], &patterns[t + 1])
+                    .femtofarads()
+                    .to_bits()
             );
         }
     }

@@ -125,8 +125,8 @@ impl Kernel {
         let mut terminals: Vec<f64> = Vec::new();
         let mut term_index: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
         let encode = |id: charfree_dd::NodeId,
-                          terminals: &mut Vec<f64>,
-                          term_index: &mut std::collections::HashMap<u64, u32>|
+                      terminals: &mut Vec<f64>,
+                      term_index: &mut std::collections::HashMap<u64, u32>|
          -> u32 {
             if id.is_terminal() {
                 let v = manager.terminal_value(id);
@@ -212,7 +212,8 @@ impl Kernel {
             remap(c)
         };
         self.program.clear();
-        self.program.reserve(self.instrs.len() + self.terminals.len());
+        self.program
+            .reserve(self.instrs.len() + self.terminals.len());
         for ins in &self.instrs {
             // The second tested variable; the last level re-tests itself
             // (children there are terminals, so the bit is a don't-care)
@@ -262,13 +263,12 @@ impl Kernel {
                     fused[r as usize]
                 }
             };
-            fused[i] = 1
-                + step
-                    .succ
-                    .iter()
-                    .map(|&s| flen(s, &fused))
-                    .max()
-                    .expect("four successors");
+            fused[i] = 1 + step
+                .succ
+                .iter()
+                .map(|&s| flen(s, &fused))
+                .max()
+                .expect("four successors");
         }
         self.fused_depth = if self.root & TERMINAL_BIT != 0 {
             0
@@ -336,7 +336,11 @@ impl Kernel {
         let mut r = self.root;
         while r & TERMINAL_BIT == 0 {
             let i = &self.instrs[r as usize];
-            r = if assignment[i.var as usize] { i.hi } else { i.lo };
+            r = if assignment[i.var as usize] {
+                i.hi
+            } else {
+                i.lo
+            };
         }
         self.terminals[(r & !TERMINAL_BIT) as usize]
     }
@@ -548,7 +552,10 @@ impl Kernel {
         };
         for (idx, ins) in self.instrs.iter().enumerate() {
             if ins.var >= self.num_vars {
-                return Err(format!("instruction {idx} tests variable {} out of range", ins.var));
+                return Err(format!(
+                    "instruction {idx} tests variable {} out of range",
+                    ins.var
+                ));
             }
             check_ref(ins.lo, idx)?;
             check_ref(ins.hi, idx)?;
@@ -601,7 +608,9 @@ mod tests {
         let library = Library::test_library();
         let netlist = benchmarks::decod(&library);
         // Shrinking to one node forces a constant diagram.
-        let model = ModelBuilder::new(&netlist).build().shrink(1, charfree_core::ApproxStrategy::Average);
+        let model = ModelBuilder::new(&netlist)
+            .build()
+            .shrink(1, charfree_core::ApproxStrategy::Average);
         let kernel = Kernel::compile(&model);
         assert_eq!(kernel.num_instrs(), 0);
         assert!(kernel.root & TERMINAL_BIT != 0);
@@ -642,7 +651,11 @@ mod tests {
     #[test]
     fn validate_accepts_compiled_kernels() {
         let library = Library::test_library();
-        let model = ModelBuilder::new(&benchmarks::cm85(&library)).max_nodes(300).build();
-        Kernel::compile(&model).validate().expect("compiled kernels are valid");
+        let model = ModelBuilder::new(&benchmarks::cm85(&library))
+            .max_nodes(300)
+            .build();
+        Kernel::compile(&model)
+            .validate()
+            .expect("compiled kernels are valid");
     }
 }

@@ -24,6 +24,10 @@
 //!   `charfree throughput` and `BENCH_engine.json`.
 
 #![warn(missing_docs)]
+// `.unwrap()` is banned crate-wide; `.expect()` remains available for
+// invariants with a stated justification, and tests are exempt.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod block;
 mod compiled;

@@ -73,7 +73,12 @@ impl Kernel {
         writeln!(w, "inputs {}", self.num_inputs)?;
         writeln!(w, "vars {}", self.num_vars)?;
         writeln!(w, "interleaved {}", u8::from(self.interleaved))?;
-        let vars = |vs: &[u32]| vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ");
+        let vars = |vs: &[u32]| {
+            vs.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
         writeln!(w, "xi {}", vars(&self.xi_vars))?;
         writeln!(w, "xf {}", vars(&self.xf_vars))?;
         let terms: Vec<String> = self
@@ -225,7 +230,9 @@ mod tests {
     #[test]
     fn degraded_kernel_round_trips() {
         let library = Library::test_library();
-        let model = ModelBuilder::new(&benchmarks::cm85(&library)).max_nodes(150).build();
+        let model = ModelBuilder::new(&benchmarks::cm85(&library))
+            .max_nodes(150)
+            .build();
         let kernel = Kernel::compile(&model);
         let back = round_trip(&kernel);
         let xi = vec![true; 11];

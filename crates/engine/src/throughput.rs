@@ -133,8 +133,7 @@ pub fn records_to_json(records: &[ThroughputRecord]) -> String {
         .iter()
         .map(|r| {
             let body = r.to_json();
-            let indented: Vec<String> =
-                body.lines().map(|l| format!("  {l}")).collect();
+            let indented: Vec<String> = body.lines().map(|l| format!("  {l}")).collect();
             indented.join("\n")
         })
         .collect();
@@ -183,7 +182,9 @@ pub fn measure(model: &AddPowerModel, patterns: &[Vec<bool>], jobs: usize) -> Th
     let arena_pps = rate(transitions, || {
         let mut sum = 0.0;
         for t in 0..transitions {
-            sum += model.capacitance(&patterns[t], &patterns[t + 1]).femtofarads();
+            sum += model
+                .capacitance(&patterns[t], &patterns[t + 1])
+                .femtofarads();
         }
         std::hint::black_box(sum);
     });

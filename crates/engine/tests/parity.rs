@@ -147,7 +147,9 @@ proptest! {
 #[test]
 fn kernel_file_round_trip_preserves_evaluation() {
     let library = Library::test_library();
-    let model = ModelBuilder::new(&benchmarks::cm85(&library)).max_nodes(400).build();
+    let model = ModelBuilder::new(&benchmarks::cm85(&library))
+        .max_nodes(400)
+        .build();
     let compiled = Kernel::compile(&model);
 
     let path = std::env::temp_dir().join(format!("charfree-parity-{}.cfk", std::process::id()));

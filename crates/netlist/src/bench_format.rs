@@ -187,7 +187,10 @@ pub fn parse(name: &str, text: &str) -> Result<Netlist, BenchError> {
                 line: line_no,
             });
         } else {
-            return Err(BenchError::Syntax(line_no, format!("unexpected line `{line}`")));
+            return Err(BenchError::Syntax(
+                line_no,
+                format!("unexpected line `{line}`"),
+            ));
         }
     }
 
@@ -197,7 +200,10 @@ pub fn parse(name: &str, text: &str) -> Result<Netlist, BenchError> {
 fn extract_paren(rest: &str, original: &str, line_no: usize) -> Result<String, BenchError> {
     let rest = rest.trim();
     if !rest.starts_with('(') || !rest.ends_with(')') {
-        return Err(BenchError::Syntax(line_no, format!("bad directive `{original}`")));
+        return Err(BenchError::Syntax(
+            line_no,
+            format!("bad directive `{original}`"),
+        ));
     }
     // Use the original (case-preserved) text for the net name.
     let open = original
@@ -293,19 +299,47 @@ fn emit(
         Func::Xor if pins.len() == 2 => named(netlist, CellKind::Xor2, pins),
         Func::Xnor if pins.len() == 2 => named(netlist, CellKind::Xnor2, pins),
         Func::And => {
-            let t = reduce(netlist, pins.to_vec(), CellKind::And2, CellKind::And3, &def.output, &mut counter)?;
+            let t = reduce(
+                netlist,
+                pins.to_vec(),
+                CellKind::And2,
+                CellKind::And3,
+                &def.output,
+                &mut counter,
+            )?;
             named(netlist, CellKind::Buf, &[t])
         }
         Func::Or => {
-            let t = reduce(netlist, pins.to_vec(), CellKind::Or2, CellKind::Or3, &def.output, &mut counter)?;
+            let t = reduce(
+                netlist,
+                pins.to_vec(),
+                CellKind::Or2,
+                CellKind::Or3,
+                &def.output,
+                &mut counter,
+            )?;
             named(netlist, CellKind::Buf, &[t])
         }
         Func::Nand => {
-            let t = reduce(netlist, pins.to_vec(), CellKind::And2, CellKind::And3, &def.output, &mut counter)?;
+            let t = reduce(
+                netlist,
+                pins.to_vec(),
+                CellKind::And2,
+                CellKind::And3,
+                &def.output,
+                &mut counter,
+            )?;
             named(netlist, CellKind::Inv, &[t])
         }
         Func::Nor => {
-            let t = reduce(netlist, pins.to_vec(), CellKind::Or2, CellKind::Or3, &def.output, &mut counter)?;
+            let t = reduce(
+                netlist,
+                pins.to_vec(),
+                CellKind::Or2,
+                CellKind::Or3,
+                &def.output,
+                &mut counter,
+            )?;
             named(netlist, CellKind::Inv, &[t])
         }
         Func::Xor => {
@@ -587,12 +621,22 @@ z = XNOR(a, b, c)
         ] {
             let text = write(&netlist);
             let back = parse(netlist.name(), &text).expect("round-trips");
-            assert_eq!(back.num_inputs(), netlist.num_inputs(), "{}", netlist.name());
+            assert_eq!(
+                back.num_inputs(),
+                netlist.num_inputs(),
+                "{}",
+                netlist.name()
+            );
             for trial in 0..64u32 {
                 let asg: Vec<bool> = (0..netlist.num_inputs())
                     .map(|i| trial.wrapping_mul(2654435761).rotate_left(i as u32) & 4 != 0)
                     .collect();
-                assert_eq!(eval(&back, &asg), eval(&netlist, &asg), "{}", netlist.name());
+                assert_eq!(
+                    eval(&back, &asg),
+                    eval(&netlist, &asg),
+                    "{}",
+                    netlist.name()
+                );
             }
         }
     }
@@ -616,7 +660,10 @@ z = XNOR(a, b, c)
             Err(BenchError::MultipleDrivers(_))
         ));
         assert!(matches!(
-            parse("t", "INPUT(a)\nOUTPUT(y)\nu = NOT(v)\nv = NOT(u)\ny = AND(a, u)"),
+            parse(
+                "t",
+                "INPUT(a)\nOUTPUT(y)\nu = NOT(v)\nv = NOT(u)\ny = AND(a, u)"
+            ),
             Err(BenchError::Cycle(_))
         ));
         assert!(matches!(

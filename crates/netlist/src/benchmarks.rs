@@ -94,7 +94,9 @@ pub fn paper_unit() -> Netlist {
     let x2 = n.add_input("x2").expect("fresh");
     let g1 = n.add_gate_named(CellKind::Inv, &[x1], "g1").expect("ok");
     let g2 = n.add_gate_named(CellKind::Inv, &[x2], "g2").expect("ok");
-    let g3 = n.add_gate_named(CellKind::Or2, &[x1, x2], "g3").expect("ok");
+    let g3 = n
+        .add_gate_named(CellKind::Or2, &[x1, x2], "g3")
+        .expect("ok");
     for s in [g1, g2, g3] {
         n.mark_output(s).expect("ok");
     }
@@ -113,7 +115,9 @@ pub fn parity(library: &Library) -> Netlist {
         .map(|i| n.add_input(format!("in{i}")).expect("fresh"))
         .collect();
     let p = xor_tree(&mut n, bits);
-    let out = n.add_gate_named(CellKind::Buf, &[p], "parity_out").expect("ok");
+    let out = n
+        .add_gate_named(CellKind::Buf, &[p], "parity_out")
+        .expect("ok");
     n.mark_output(out).expect("ok");
     finish(n, library)
 }
@@ -183,9 +187,13 @@ pub fn cm85(library: &Library) -> Netlist {
     }
     let eq = and_tree(&mut n, eqs);
     let n_eq = n.add_gate(CellKind::Inv, &[eq]).expect("ok");
-    let lt = n.add_gate_named(CellKind::Nor2, &[gt, eq], "lt").expect("ok");
+    let lt = n
+        .add_gate_named(CellKind::Nor2, &[gt, eq], "lt")
+        .expect("ok");
     let eq_out = n.add_gate_named(CellKind::Buf, &[eq], "eq").expect("ok");
-    let gt_out = n.add_gate_named(CellKind::And2, &[gt, n_eq], "gt").expect("ok");
+    let gt_out = n
+        .add_gate_named(CellKind::And2, &[gt, n_eq], "gt")
+        .expect("ok");
     for s in [eq_out, gt_out, lt] {
         n.mark_output(s).expect("ok");
     }
@@ -278,7 +286,9 @@ pub fn mux(library: &Library) -> Netlist {
         }
         layer = next;
     }
-    let out = n.add_gate_named(CellKind::And2, &[layer[0], en], "y").expect("ok");
+    let out = n
+        .add_gate_named(CellKind::And2, &[layer[0], en], "y")
+        .expect("ok");
     n.mark_output(out).expect("ok");
     finish(n, library)
 }
@@ -395,7 +405,9 @@ fn alu(name: &str, width: usize, library: &Library) -> Netlist {
         let or_i = n.add_gate(CellKind::Or2, &[a[i], b[i]]).expect("ok");
         let xor_i = n.add_gate(CellKind::Xor2, &[a[i], b[i]]).expect("ok");
         // m1 m0: 00 -> sum, 01 -> and, 10 -> or, 11 -> xor.
-        let lo = n.add_gate(CellKind::Mux2, &[m0, sums[i], and_i]).expect("ok");
+        let lo = n
+            .add_gate(CellKind::Mux2, &[m0, sums[i], and_i])
+            .expect("ok");
         let hi = n.add_gate(CellKind::Mux2, &[m0, or_i, xor_i]).expect("ok");
         let y = n
             .add_gate_named(CellKind::Mux2, &[m1, lo, hi], format!("y{i}"))
@@ -407,7 +419,11 @@ fn alu(name: &str, width: usize, library: &Library) -> Netlist {
     let nm1 = n.add_gate(CellKind::Inv, &[m1]).expect("ok");
     let add_mode = n.add_gate(CellKind::And2, &[nm0, nm1]).expect("ok");
     let cout = n
-        .add_gate_named(CellKind::And2, &[carry.expect("width > 0"), add_mode], "cout")
+        .add_gate_named(
+            CellKind::And2,
+            &[carry.expect("width > 0"), add_mode],
+            "cout",
+        )
         .expect("ok");
     n.mark_output(cout).expect("ok");
     finish(n, library)
@@ -521,9 +537,8 @@ pub fn random_logic_with_window(
             }
             let pins: Vec<u64> = idxs.iter().map(|&i| signatures[i]).collect();
             let sig = kind.eval_word(&pins);
-            let degenerate = sig == 0
-                || sig == u64::MAX
-                || pins.iter().any(|&p| p == sig || p == !sig);
+            let degenerate =
+                sig == 0 || sig == u64::MAX || pins.iter().any(|&p| p == sig || p == !sig);
             if !degenerate || attempt == 23 {
                 accepted = Some((kind, idxs, sig));
                 break;
@@ -639,9 +654,8 @@ pub fn random_logic_blocks(
                 }
                 let pins: Vec<u64> = idxs.iter().map(|&i| signatures[i]).collect();
                 let sig = kind.eval_word(&pins);
-                let degenerate = sig == 0
-                    || sig == u64::MAX
-                    || pins.iter().any(|&p| p == sig || p == !sig);
+                let degenerate =
+                    sig == 0 || sig == u64::MAX || pins.iter().any(|&p| p == sig || p == !sig);
                 if !degenerate || attempt == 23 {
                     accepted = Some((kind, idxs, sig));
                     break;
@@ -750,7 +764,6 @@ pub fn mult(width: usize, library: &Library) -> Netlist {
         }
         outputs.push(next[0]);
         acc = next;
-
     }
     for &s in outputs.iter().chain(acc.iter().skip(1)) {
         n.mark_output(s).expect("ok");
@@ -924,7 +937,9 @@ mod tests {
         // Inputs: d0..d15, s0..s3, en.
         let mut rng_state = 0x1234_5678u64;
         for _ in 0..50 {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let data = (rng_state >> 16) as u16;
             let sel = (rng_state >> 40) as usize % 16;
             let en = rng_state >> 63 & 1 == 1;
@@ -937,8 +952,16 @@ mod tests {
             }
             asg.push(en);
             let want = en && (data >> sel & 1 == 1);
-            assert_eq!(eval(&m1, &asg)[0], want, "cm150 data={data:#x} sel={sel} en={en}");
-            assert_eq!(eval(&m2, &asg)[0], want, "mux data={data:#x} sel={sel} en={en}");
+            assert_eq!(
+                eval(&m1, &asg)[0],
+                want,
+                "cm150 data={data:#x} sel={sel} en={en}"
+            );
+            assert_eq!(
+                eval(&m2, &asg)[0],
+                want,
+                "mux data={data:#x} sel={sel} en={en}"
+            );
         }
     }
 
@@ -956,7 +979,13 @@ mod tests {
             }
             eval(&c, &asg)
         };
-        for (a, b) in [(1u32, 2u32), (2, 1), (0xffff, 0xffff), (0x8000, 0x7fff), (0, 1)] {
+        for (a, b) in [
+            (1u32, 2u32),
+            (2, 1),
+            (0xffff, 0xffff),
+            (0x8000, 0x7fff),
+            (0, 1),
+        ] {
             let out = run(a, b);
             assert_eq!(out[0], a > b, "gt a={a:#x} b={b:#x}");
             assert_eq!(out[1], a < b, "lt a={a:#x} b={b:#x}");

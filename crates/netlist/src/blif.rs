@@ -14,7 +14,7 @@
 
 use crate::library::CellKind;
 use crate::netlist::{Netlist, NetlistError, SignalId};
-use crate::sop::{Cube, Sop, synthesize_sop};
+use crate::sop::{synthesize_sop, Cube, Sop};
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
@@ -171,7 +171,9 @@ fn tokenize(text: &str) -> Result<RawModel, BlifError> {
             if sop.num_inputs == 0 {
                 return Err(BlifError::Constant(output));
             }
-            model.nodes.push((output, NodeDef::Names { inputs: sigs, sop }));
+            model
+                .nodes
+                .push((output, NodeDef::Names { inputs: sigs, sop }));
         }
         Ok(())
     }
@@ -248,13 +250,13 @@ fn tokenize(text: &str) -> Result<RawModel, BlifError> {
             let (cube_str, out_str) = if num_inputs == 0 {
                 ("", parts.next().unwrap_or(""))
             } else {
-                (
-                    parts.next().unwrap_or(""),
-                    parts.next().unwrap_or(""),
-                )
+                (parts.next().unwrap_or(""), parts.next().unwrap_or(""))
             };
             if parts.next().is_some() {
-                return Err(BlifError::Syntax(line_no, "trailing tokens in cover".into()));
+                return Err(BlifError::Syntax(
+                    line_no,
+                    "trailing tokens in cover".into(),
+                ));
             }
             let cube = Cube::parse(cube_str)
                 .filter(|c| c.0.len() == num_inputs)
@@ -281,7 +283,10 @@ fn tokenize(text: &str) -> Result<RawModel, BlifError> {
             }
             cubes.push(cube);
         } else {
-            return Err(BlifError::Syntax(line_no, format!("unexpected line `{line}`")));
+            return Err(BlifError::Syntax(
+                line_no,
+                format!("unexpected line `{line}`"),
+            ));
         }
     }
     flush_names(&mut model, &mut current_names)?;
@@ -346,10 +351,7 @@ fn elaborate(raw: RawModel) -> Result<Netlist, BlifError> {
                 }
             }
         }
-        let input_ids: Vec<SignalId> = input_names
-            .iter()
-            .map(|n| sig[n.as_str()])
-            .collect();
+        let input_ids: Vec<SignalId> = input_names.iter().map(|n| sig[n.as_str()]).collect();
         let out_id = match def {
             NodeDef::Names { sop, .. } => {
                 let inner = synthesize_sop(netlist, sop, &input_ids)?;

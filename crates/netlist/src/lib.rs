@@ -47,5 +47,5 @@ pub mod verilog;
 mod library;
 mod netlist;
 
-pub use library::{ALL_CELLS, CellKind, Library};
+pub use library::{CellKind, Library, ALL_CELLS};
 pub use netlist::{Gate, GateId, Netlist, NetlistError, SignalId};

@@ -111,9 +111,7 @@ impl CellKind {
         match self {
             CellKind::Inv => !inputs[0],
             CellKind::Buf => inputs[0],
-            CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => {
-                !inputs.iter().all(|&b| b)
-            }
+            CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => !inputs.iter().all(|&b| b),
             CellKind::Nor2 | CellKind::Nor3 | CellKind::Nor4 => !inputs.iter().any(|&b| b),
             CellKind::And2 | CellKind::And3 => inputs.iter().all(|&b| b),
             CellKind::Or2 | CellKind::Or3 => inputs.iter().any(|&b| b),
@@ -311,6 +309,35 @@ impl Library {
         self.wire_cap = cap;
     }
 
+    /// A canonical textual digest of everything that influences the loads
+    /// a netlist annotated with this library will carry: the name, every
+    /// per-pin capacitance in [`ALL_CELLS`] order, the wire capacitance
+    /// and the primary-output load. Two libraries with equal fingerprints
+    /// produce identical power models for the same netlist, so
+    /// content-addressed caches key on this string.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("library {}\n", self.name);
+        for cell in ALL_CELLS {
+            let _ = write!(out, "cell {}", cell.name());
+            for pin in 0..cell.arity() {
+                let _ = write!(
+                    out,
+                    " {:016x}",
+                    self.pin_cap(cell, pin).femtofarads().to_bits()
+                );
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "wire {:016x}", self.wire_cap.femtofarads().to_bits());
+        let _ = writeln!(
+            out,
+            "output {:016x}",
+            self.output_load.femtofarads().to_bits()
+        );
+        out
+    }
+
     /// Overrides the primary-output load.
     pub fn set_output_load(&mut self, cap: Capacitance) {
         self.output_load = cap;
@@ -343,8 +370,10 @@ mod tests {
             let n = cell.arity();
             for bits in 0..1u32 << n {
                 let scalar: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-                let words: Vec<u64> =
-                    scalar.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+                let words: Vec<u64> = scalar
+                    .iter()
+                    .map(|&b| if b { u64::MAX } else { 0 })
+                    .collect();
                 let want = cell.eval(&scalar);
                 let got = cell.eval_word(&words);
                 assert_eq!(got == u64::MAX, want, "{cell} bits={bits:b}");
@@ -387,6 +416,24 @@ mod tests {
         assert_eq!(lib.wire_cap(), Capacitance(0.0));
         lib.set_output_load(Capacitance(11.0));
         assert_eq!(lib.output_load(), Capacitance(11.0));
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_load_knob() {
+        let base = Library::test_library();
+        assert_eq!(base.fingerprint(), Library::test_library().fingerprint());
+        let mut lib = Library::test_library();
+        lib.set_pin_cap_at(CellKind::Nand2, 1, Capacitance(42.0));
+        assert_ne!(base.fingerprint(), lib.fingerprint());
+        let mut lib = Library::test_library();
+        lib.set_wire_cap(Capacitance(3.5));
+        assert_ne!(base.fingerprint(), lib.fingerprint());
+        let mut lib = Library::test_library();
+        lib.set_output_load(Capacitance(1.0));
+        assert_ne!(base.fingerprint(), lib.fingerprint());
+        let mut lib = Library::test_library();
+        lib.set_name("other");
+        assert_ne!(base.fingerprint(), lib.fingerprint());
     }
 
     #[test]

@@ -129,11 +129,9 @@ pub fn parse(text: &str) -> Result<Library, ParseLibraryError> {
                 let cell_name = words.next().ok_or_else(|| {
                     ParseLibraryError::Syntax(line_no, "cell needs a name".into())
                 })?;
-                let cell = CellKind::from_name(cell_name).ok_or_else(|| {
-                    ParseLibraryError::UnknownCell(line_no, cell_name.to_owned())
-                })?;
-                let values: Vec<Capacitance> =
-                    words.map(parse_cap).collect::<Result<_, _>>()?;
+                let cell = CellKind::from_name(cell_name)
+                    .ok_or_else(|| ParseLibraryError::UnknownCell(line_no, cell_name.to_owned()))?;
+                let values: Vec<Capacitance> = words.map(parse_cap).collect::<Result<_, _>>()?;
                 match values.len() {
                     1 => library.set_pin_cap(cell, values[0]),
                     k if k == cell.arity() => {
@@ -214,14 +212,21 @@ cell nand2 2.5 2.75
         assert_eq!(back.wire_cap(), lib.wire_cap());
         for cell in ALL_CELLS {
             for pin in 0..cell.arity() {
-                assert_eq!(back.pin_cap(cell, pin), lib.pin_cap(cell, pin), "{cell} {pin}");
+                assert_eq!(
+                    back.pin_cap(cell, pin),
+                    lib.pin_cap(cell, pin),
+                    "{cell} {pin}"
+                );
             }
         }
     }
 
     #[test]
     fn errors() {
-        assert!(matches!(parse("bogus 1"), Err(ParseLibraryError::Syntax(1, _))));
+        assert!(matches!(
+            parse("bogus 1"),
+            Err(ParseLibraryError::Syntax(1, _))
+        ));
         assert!(matches!(
             parse("cell nothere 1.0"),
             Err(ParseLibraryError::UnknownCell(1, _))
@@ -238,7 +243,10 @@ cell nand2 2.5 2.75
             parse("cell mux2 1.0 2.0"),
             Err(ParseLibraryError::WrongPinCount { got: 2, .. })
         ));
-        assert!(matches!(parse("wire"), Err(ParseLibraryError::Syntax(1, _))));
+        assert!(matches!(
+            parse("wire"),
+            Err(ParseLibraryError::Syntax(1, _))
+        ));
         let e = parse("cell mux2 1.0 2.0").expect_err("wrong pins");
         assert!(e.to_string().contains("mux2"));
     }

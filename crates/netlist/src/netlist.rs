@@ -102,7 +102,11 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::DuplicateSignal(n) => write!(f, "duplicate signal name `{n}`"),
-            NetlistError::WrongArity { cell, expected, got } => {
+            NetlistError::WrongArity {
+                cell,
+                expected,
+                got,
+            } => {
                 write!(f, "cell `{cell}` takes {expected} inputs, got {got}")
             }
             NetlistError::UnknownSignal(n) => write!(f, "unknown signal `{n}`"),
@@ -169,7 +173,11 @@ impl Netlist {
         &self.name
     }
 
-    fn intern_signal(&mut self, name: String, driver: Option<GateId>) -> Result<SignalId, NetlistError> {
+    fn intern_signal(
+        &mut self,
+        name: String,
+        driver: Option<GateId>,
+    ) -> Result<SignalId, NetlistError> {
         if self.by_name.contains_key(&name) {
             return Err(NetlistError::DuplicateSignal(name));
         }
@@ -440,7 +448,9 @@ mod tests {
         let x2 = n.add_input("x2").expect("fresh");
         let g1 = n.add_gate_named(CellKind::Inv, &[x1], "g1").expect("ok");
         let g2 = n.add_gate_named(CellKind::Inv, &[x2], "g2").expect("ok");
-        let g3 = n.add_gate_named(CellKind::Or2, &[x1, x2], "g3").expect("ok");
+        let g3 = n
+            .add_gate_named(CellKind::Or2, &[x1, x2], "g3")
+            .expect("ok");
         n.mark_output(g1).expect("ok");
         n.mark_output(g2).expect("ok");
         n.mark_output(g3).expect("ok");
@@ -458,7 +468,9 @@ mod tests {
         assert!(n.validate().is_ok());
         assert_eq!(n.depth(), 1);
         assert_eq!(n.find_signal("g3").map(|s| n.signal_name(s)), Some("g3"));
-        let g3 = n.driver(n.find_signal("g3").expect("exists")).expect("driven");
+        let g3 = n
+            .driver(n.find_signal("g3").expect("exists"))
+            .expect("driven");
         assert_eq!(n.gate(g3).kind(), CellKind::Or2);
         assert_eq!(n.gate(g3).inputs().len(), 2);
     }
@@ -544,7 +556,9 @@ mod tests {
     #[test]
     fn manual_load_override() {
         let mut n = paper_unit();
-        let g = n.driver(n.find_signal("g1").expect("exists")).expect("driven");
+        let g = n
+            .driver(n.find_signal("g1").expect("exists"))
+            .expect("driven");
         n.set_gate_load(g, Capacitance(40.0));
         assert_eq!(n.gate(g).load(), Capacitance(40.0));
     }

@@ -248,7 +248,10 @@ mod tests {
         // f = a'b + c over 3 inputs.
         let sop = Sop {
             num_inputs: 3,
-            cubes: vec![Cube::parse("01-").expect("ok"), Cube::parse("--1").expect("ok")],
+            cubes: vec![
+                Cube::parse("01-").expect("ok"),
+                Cube::parse("--1").expect("ok"),
+            ],
             polarity: true,
         };
         check_sop(&sop);
@@ -309,17 +312,17 @@ mod tests {
         // Two cubes both using a'.
         let sop = Sop {
             num_inputs: 2,
-            cubes: vec![Cube::parse("01").expect("ok"), Cube::parse("00").expect("ok")],
+            cubes: vec![
+                Cube::parse("01").expect("ok"),
+                Cube::parse("00").expect("ok"),
+            ],
             polarity: true,
         };
         let mut n = Netlist::new("t");
         let a = n.add_input("a").expect("fresh");
         let b = n.add_input("b").expect("fresh");
         let _ = synthesize_sop(&mut n, &sop, &[a, b]).expect("ok");
-        let inv_count = n
-            .gates()
-            .filter(|(_, g)| g.kind() == CellKind::Inv)
-            .count();
+        let inv_count = n.gates().filter(|(_, g)| g.kind() == CellKind::Inv).count();
         assert_eq!(inv_count, 2, "one inverter per negated input, shared");
     }
 

@@ -101,7 +101,10 @@ fn lex(text: &str) -> Result<Vec<(usize, Token)>, VerilogError> {
             tokens.push((i, Token::Symbol(c)));
             i += 1;
         } else {
-            return Err(VerilogError::Syntax(i, format!("unexpected character `{c}`")));
+            return Err(VerilogError::Syntax(
+                i,
+                format!("unexpected character `{c}`"),
+            ));
         }
     }
     Ok(tokens)
@@ -151,24 +154,26 @@ pub fn parse(text: &str) -> Result<Netlist, VerilogError> {
             .unwrap_or_else(|| tokens.last().map(|(o, _)| *o).unwrap_or(0));
         VerilogError::Syntax(off, msg.to_owned())
     };
-    let expect_ident = |pos: &mut usize, tokens: &[(usize, Token)]| -> Result<String, VerilogError> {
-        match tokens.get(*pos) {
-            Some((_, Token::Ident(s))) => {
-                *pos += 1;
-                Ok(s.clone())
+    let expect_ident =
+        |pos: &mut usize, tokens: &[(usize, Token)]| -> Result<String, VerilogError> {
+            match tokens.get(*pos) {
+                Some((_, Token::Ident(s))) => {
+                    *pos += 1;
+                    Ok(s.clone())
+                }
+                _ => Err(err(*pos, "expected identifier", tokens)),
             }
-            _ => Err(err(*pos, "expected identifier", tokens)),
-        }
-    };
-    let expect_sym = |pos: &mut usize, c: char, tokens: &[(usize, Token)]| -> Result<(), VerilogError> {
-        match tokens.get(*pos) {
-            Some((_, Token::Symbol(s))) if *s == c => {
-                *pos += 1;
-                Ok(())
+        };
+    let expect_sym =
+        |pos: &mut usize, c: char, tokens: &[(usize, Token)]| -> Result<(), VerilogError> {
+            match tokens.get(*pos) {
+                Some((_, Token::Symbol(s))) if *s == c => {
+                    *pos += 1;
+                    Ok(())
+                }
+                _ => Err(err(*pos, &format!("expected `{c}`"), tokens)),
             }
-            _ => Err(err(*pos, &format!("expected `{c}`"), tokens)),
-        }
-    };
+        };
     let peek_sym = |pos: usize, c: char, tokens: &[(usize, Token)]| -> bool {
         matches!(tokens.get(pos), Some((_, Token::Symbol(s))) if *s == c)
     };
@@ -317,8 +322,7 @@ fn elaborate(
                             None => return Err(VerilogError::Cycle(pin.clone())),
                         }
                     }
-                    let out =
-                        netlist.add_gate_named(inst.cell, &ids, inst.output.clone())?;
+                    let out = netlist.add_gate_named(inst.cell, &ids, inst.output.clone())?;
                     sig.insert(inst.output.clone(), out);
                     marks.insert(node, Mark::Done);
                     stack.pop();
@@ -384,11 +388,8 @@ pub fn write(netlist: &Netlist) -> String {
         .collect();
     let _ = writeln!(out, "  output {};", outs.join(", "));
 
-    let is_port: std::collections::HashSet<&str> = ins
-        .iter()
-        .copied()
-        .chain(outs.iter().copied())
-        .collect();
+    let is_port: std::collections::HashSet<&str> =
+        ins.iter().copied().chain(outs.iter().copied()).collect();
     let wires: Vec<&str> = netlist
         .gates()
         .map(|(_, g)| netlist.signal_name(g.output()))
@@ -407,7 +408,13 @@ pub fn write(netlist: &Netlist) -> String {
             .map(|(pin, &s)| format!(".{}({})", formals[pin], netlist.signal_name(s)))
             .collect();
         pins.push(format!(".O({})", netlist.signal_name(gate.output())));
-        let _ = writeln!(out, "  {} u{} ({});", gate.kind().name(), i, pins.join(", "));
+        let _ = writeln!(
+            out,
+            "  {} u{} ({});",
+            gate.kind().name(),
+            i,
+            pins.join(", ")
+        );
     }
     out.push_str("endmodule\n");
     out

@@ -1,0 +1,253 @@
+//! Content-addressed on-disk artifact store.
+//!
+//! Artifacts (`.cfm` models, `.cfk` kernels) are keyed by a 128-bit
+//! content hash of everything that determines them: the canonical netlist
+//! text, the library fingerprint and the build-option fingerprint. A
+//! second run on identical inputs warm-loads the artifact instead of
+//! rebuilding; every load re-validates the file (the persistence formats
+//! are self-checking), and any mismatch — truncation, corruption, a
+//! format-version bump — degrades to a rebuild, never a panic.
+//!
+//! Writes are atomic (temp file + rename in the same directory), so a
+//! crashed or concurrent writer can leave stray `*.tmp*` files but never
+//! a half-written artifact under a live key.
+
+use crate::telemetry::ArtifactKind;
+use charfree_core::AddPowerModel;
+use charfree_engine::Kernel;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 128-bit content hash identifying one artifact: two independent
+/// 64-bit FNV-1a streams over the same length-prefixed sections (the
+/// second stream starts from a decorrelated offset basis). Not
+/// cryptographic — the store is a cache, not a trust boundary — but far
+/// past accidental-collision range for any realistic corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactKey {
+    lo: u64,
+    hi: u64,
+}
+
+impl ArtifactKey {
+    /// Derives the key for an ordered list of input sections. Sections
+    /// are length-prefixed before hashing so boundaries cannot alias
+    /// (`["ab", "c"]` and `["a", "bc"]` hash differently).
+    pub fn derive(sections: &[&str]) -> ArtifactKey {
+        let mut lo = FNV_OFFSET;
+        let mut hi = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+        for section in sections {
+            let prefix = (section.len() as u64).to_le_bytes();
+            for bytes in [&prefix[..], section.as_bytes()] {
+                for &b in bytes {
+                    lo = (lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+                    hi = (hi ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+                }
+            }
+        }
+        ArtifactKey { lo, hi }
+    }
+
+    /// The 32-hex-digit rendering (the cache file stem).
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Result of a cache probe.
+#[derive(Debug)]
+pub enum CacheLookup<T> {
+    /// Artifact present and valid.
+    Hit(T),
+    /// No artifact stored under the key.
+    Miss,
+    /// An artifact file exists under the key but failed validation; the
+    /// caller should rebuild (the next store overwrites the bad entry).
+    Poisoned(String),
+}
+
+/// The on-disk store: one flat directory of `<hash>.cfm` / `<hash>.cfk`
+/// files (created lazily on first write).
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// A store rooted at `dir`. The directory is created on first write,
+    /// not here — read-only probes of a never-written store are cheap
+    /// misses.
+    pub fn new(dir: impl Into<PathBuf>) -> ArtifactStore {
+        ArtifactStore { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path an artifact lives at.
+    pub fn path(&self, key: ArtifactKey, kind: ArtifactKind) -> PathBuf {
+        self.dir.join(format!("{}.{}", key.hex(), kind.extension()))
+    }
+
+    /// Probes for a stored model; validation failures surface as
+    /// [`CacheLookup::Poisoned`], never an error.
+    pub fn load_model(&self, key: ArtifactKey) -> CacheLookup<AddPowerModel> {
+        self.load(key, ArtifactKind::Model, |bytes| {
+            AddPowerModel::load(bytes).map_err(|e| e.to_string())
+        })
+    }
+
+    /// Probes for a stored kernel (re-validated on load by the `.cfk`
+    /// format itself).
+    pub fn load_kernel(&self, key: ArtifactKey) -> CacheLookup<Kernel> {
+        self.load(key, ArtifactKind::Kernel, |bytes| {
+            Kernel::load(bytes).map_err(|e| e.to_string())
+        })
+    }
+
+    fn load<T>(
+        &self,
+        key: ArtifactKey,
+        kind: ArtifactKind,
+        parse: impl FnOnce(&[u8]) -> Result<T, String>,
+    ) -> CacheLookup<T> {
+        let path = self.path(key, kind);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return CacheLookup::Miss,
+            Err(e) => return CacheLookup::Poisoned(format!("{}: {e}", path.display())),
+        };
+        match parse(&bytes) {
+            Ok(artifact) => CacheLookup::Hit(artifact),
+            Err(e) => CacheLookup::Poisoned(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Stores a model under `key`, atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures (callers treat a failed store as
+    /// "run stays uncached", not as a run failure).
+    pub fn store_model(&self, key: ArtifactKey, model: &AddPowerModel) -> io::Result<()> {
+        let mut buf = Vec::new();
+        model.save(&mut buf)?;
+        self.store_bytes(key, ArtifactKind::Model, &buf)
+    }
+
+    /// Stores a kernel under `key`, atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn store_kernel(&self, key: ArtifactKey, kernel: &Kernel) -> io::Result<()> {
+        let mut buf = Vec::new();
+        kernel.save(&mut buf)?;
+        self.store_bytes(key, ArtifactKind::Kernel, &buf)
+    }
+
+    fn store_bytes(&self, key: ArtifactKey, kind: ArtifactKind, bytes: &[u8]) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path(key, kind);
+        let tmp = self.dir.join(format!(
+            "{}.{}.tmp{}",
+            key.hex(),
+            kind.extension(),
+            std::process::id()
+        ));
+        fs::write(&tmp, bytes)?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charfree_core::ModelBuilder;
+    use charfree_netlist::{benchmarks, Library};
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("charfree-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_separate_sections_and_content() {
+        let a = ArtifactKey::derive(&["ab", "c"]);
+        let b = ArtifactKey::derive(&["a", "bc"]);
+        let c = ArtifactKey::derive(&["ab", "c"]);
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.hex().len(), 32);
+        assert_ne!(ArtifactKey::derive(&[]), ArtifactKey::derive(&[""]));
+    }
+
+    #[test]
+    fn model_and_kernel_round_trip_through_the_store() {
+        let dir = fresh_dir("roundtrip");
+        let store = ArtifactStore::new(&dir);
+        let key = ArtifactKey::derive(&["roundtrip"]);
+        assert!(matches!(store.load_model(key), CacheLookup::Miss));
+
+        let lib = Library::test_library();
+        let netlist = benchmarks::decod(&lib);
+        let model = ModelBuilder::new(&netlist).max_nodes(100).build();
+        store.store_model(key, &model).expect("store model");
+        let CacheLookup::Hit(back) = store.load_model(key) else {
+            panic!("stored model must load");
+        };
+        assert_eq!(back.size(), model.size());
+
+        let kernel = Kernel::compile(&model);
+        store.store_kernel(key, &kernel).expect("store kernel");
+        let CacheLookup::Hit(kback) = store.load_kernel(key) else {
+            panic!("stored kernel must load");
+        };
+        assert_eq!(kback.num_instrs(), kernel.num_instrs());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_version_bumped_entries_are_poisoned_not_fatal() {
+        let dir = fresh_dir("poison");
+        let store = ArtifactStore::new(&dir);
+        let key = ArtifactKey::derive(&["poison"]);
+        let lib = Library::test_library();
+        let netlist = benchmarks::decod(&lib);
+        let model = ModelBuilder::new(&netlist).max_nodes(64).build();
+        store.store_model(key, &model).expect("store model");
+        store
+            .store_kernel(key, &Kernel::compile(&model))
+            .expect("store kernel");
+
+        // Truncation.
+        let mpath = store.path(key, ArtifactKind::Model);
+        let full = fs::read(&mpath).expect("read model artifact");
+        fs::write(&mpath, &full[..full.len() / 2]).expect("truncate");
+        assert!(matches!(store.load_model(key), CacheLookup::Poisoned(_)));
+
+        // Version bump in the header.
+        let kpath = store.path(key, ArtifactKind::Kernel);
+        let text = fs::read_to_string(&kpath).expect("read kernel artifact");
+        fs::write(&kpath, text.replacen("v1", "v9", 1)).expect("rewrite");
+        assert!(matches!(store.load_kernel(key), CacheLookup::Poisoned(_)));
+
+        // Garbage bytes.
+        fs::write(&mpath, b"not an artifact at all").expect("corrupt");
+        assert!(matches!(store.load_model(key), CacheLookup::Poisoned(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

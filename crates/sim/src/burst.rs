@@ -125,8 +125,7 @@ mod tests {
 
     #[test]
     fn dwell_times_follow_switch_probabilities() {
-        let mut src =
-            BurstSource::new(4, (0.5, 0.1), (0.5, 0.9), 0.01, 0.2, 9).expect("feasible");
+        let mut src = BurstSource::new(4, (0.5, 0.1), (0.5, 0.9), 0.01, 0.2, 9).expect("feasible");
         let mut bursts = 0usize;
         let mut burst_cycles = 0usize;
         let mut prev = false;

@@ -33,6 +33,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// `.unwrap()` is banned crate-wide; `.expect()` remains available for
+// invariants with a stated justification, and tests are exempt.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod burst;
 mod patterns;

@@ -70,7 +70,12 @@ impl MarkovSource {
     ///
     /// Returns [`InvalidStatisticsError`] if `sp ∉ (0,1)` or
     /// `st > 2·min(sp, 1−sp)` or `st < 0`.
-    pub fn new(num_bits: usize, sp: f64, st: f64, seed: u64) -> Result<Self, InvalidStatisticsError> {
+    pub fn new(
+        num_bits: usize,
+        sp: f64,
+        st: f64,
+        seed: u64,
+    ) -> Result<Self, InvalidStatisticsError> {
         if !(sp > 0.0 && sp < 1.0) || st < 0.0 || st > 2.0 * sp.min(1.0 - sp) {
             return Err(InvalidStatisticsError { sp, st });
         }
@@ -136,11 +141,7 @@ pub fn measure_statistics(seq: &[Vec<bool>]) -> (f64, f64) {
         assert_eq!(p.len(), width, "inconsistent pattern width");
         ones += p.iter().filter(|&&b| b).count();
         if t > 0 {
-            flips += p
-                .iter()
-                .zip(&seq[t - 1])
-                .filter(|(a, b)| a != b)
-                .count();
+            flips += p.iter().zip(&seq[t - 1]).filter(|(a, b)| a != b).count();
         }
     }
     let sp = ones as f64 / (seq.len() * width) as f64;
@@ -177,7 +178,10 @@ impl ExhaustivePairs {
     ///
     /// Panics if `num_bits > 16` (the enumeration would exceed 2³² pairs).
     pub fn new(num_bits: u32) -> Self {
-        assert!(num_bits <= 16, "exhaustive enumeration is 4^n; n > 16 unfeasible");
+        assert!(
+            num_bits <= 16,
+            "exhaustive enumeration is 4^n; n > 16 unfeasible"
+        );
         ExhaustivePairs {
             num_bits,
             next: 0,
@@ -279,7 +283,13 @@ mod tests {
             assert!(MarkovSource::new(4, sp, st, 0).is_ok(), "({sp},{st})");
         }
         // The full (0.5, st) column is present for Fig. 7a.
-        assert!(statistics_grid().iter().filter(|(sp, _)| *sp == 0.5).count() >= 9);
+        assert!(
+            statistics_grid()
+                .iter()
+                .filter(|(sp, _)| *sp == 0.5)
+                .count()
+                >= 9
+        );
     }
 
     #[test]

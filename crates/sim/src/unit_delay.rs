@@ -51,7 +51,10 @@ impl fmt::Display for UnitDelayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UnitDelayError::PatternWidth { expected, got } => {
-                write!(f, "pattern width mismatch: expected {expected} bits, got {got}")
+                write!(
+                    f,
+                    "pattern width mismatch: expected {expected} bits, got {got}"
+                )
             }
             UnitDelayError::NonSettling { max_steps } => write!(
                 f,
@@ -357,7 +360,10 @@ mod tests {
                 glitchy += 1;
             }
         }
-        assert!(glitchy > 0, "cm85 has unbalanced paths; some glitches expected");
+        assert!(
+            glitchy > 0,
+            "cm85 has unbalanced paths; some glitches expected"
+        );
     }
 
     #[test]
@@ -366,7 +372,13 @@ mod tests {
         let e = ud
             .try_simulate_transition(&[true], &[false, true])
             .expect_err("one-bit xi on a two-input unit");
-        assert_eq!(e, UnitDelayError::PatternWidth { expected: 2, got: 1 });
+        assert_eq!(
+            e,
+            UnitDelayError::PatternWidth {
+                expected: 2,
+                got: 1
+            }
+        );
         assert!(e.to_string().contains("expected 2 bits"));
     }
 

@@ -246,10 +246,7 @@ mod tests {
                 let g = |x: [bool; 2]| [!x[0], !x[1], x[0] || x[1]];
                 let (gi, gf) = (g(xi), g(xf));
                 let loads = [40.0, 50.0, 10.0];
-                let want: f64 = (0..3)
-                    .filter(|&j| !gi[j] && gf[j])
-                    .map(|j| loads[j])
-                    .sum();
+                let want: f64 = (0..3).filter(|&j| !gi[j] && gf[j]).map(|j| loads[j]).sum();
                 assert_eq!(
                     sim.switching_capacitance(&xi, &xf).femtofarads(),
                     want,
@@ -336,9 +333,7 @@ mod tests {
         // Length 65/66 traces exercise the word boundary at cycle 63→64.
         let sim = ZeroDelaySim::new(&paper_unit());
         for len in [2usize, 63, 64, 65, 66, 130] {
-            let patterns: Vec<Vec<bool>> = (0..len)
-                .map(|t| vec![t % 2 == 0, t % 3 == 0])
-                .collect();
+            let patterns: Vec<Vec<bool>> = (0..len).map(|t| vec![t % 2 == 0, t % 3 == 0]).collect();
             let trace = sim.switching_trace(&patterns);
             for t in 0..len - 1 {
                 let want = sim.switching_capacitance(&patterns[t], &patterns[t + 1]);

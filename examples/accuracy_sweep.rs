@@ -11,15 +11,19 @@
 //! cargo run --release --example accuracy_sweep
 //! ```
 
-use charfree::netlist::{benchmarks, Library};
+use charfree::netlist::Library;
+use charfree::pipeline::{BuildOptions, PipelineCtx, Source};
 use charfree::sim::ZeroDelaySim;
-use charfree::{
-    evaluate, fig7a_grid, ConstantModel, LinearModel, ModelBuilder, Protocol, TrainingSet,
-};
+use charfree::{evaluate, fig7a_grid, ConstantModel, LinearModel, Protocol, TrainingSet};
 
 fn main() {
-    let library = Library::test_library();
-    let cm85 = benchmarks::cm85(&library);
+    let mut ctx = PipelineCtx::new(Library::test_library()).with_options(BuildOptions {
+        max_nodes: Some(500),
+        ..BuildOptions::default()
+    });
+    let cm85 = ctx
+        .load_netlist(&Source::Bench("cm85".to_owned()))
+        .expect("built-in benchmark");
     let sim = ZeroDelaySim::new(&cm85);
 
     // Simulation-based characterization, exactly as the paper does for its
@@ -35,7 +39,7 @@ fn main() {
     );
 
     // The analytical model needs no simulation at all.
-    let add = ModelBuilder::new(&cm85).max_nodes(500).build();
+    let add = ctx.build_model(&cm85).expect("cm85 builds");
     println!(
         "  ADD model: {} nodes, built in {:.2}s — no characterization\n",
         add.size(),

@@ -104,11 +104,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model_sum += avg
             .capacitance(&patterns[t], &patterns[t + 1])
             .femtofarads();
-        bound_ok &= bound.capacitance(&patterns[t], &patterns[t + 1]).femtofarads()
+        bound_ok &= bound
+            .capacitance(&patterns[t], &patterns[t + 1])
+            .femtofarads()
             >= golden[t].femtofarads() - 1e-9;
     }
-    let golden_avg =
-        golden.iter().map(|c| c.femtofarads()).sum::<f64>() / golden.len() as f64;
+    let golden_avg = golden.iter().map(|c| c.femtofarads()).sum::<f64>() / golden.len() as f64;
     println!("\nworkload spot check (1000 vectors, sp=0.5, st=0.3):");
     println!(
         "  golden average {:.1} fF, model average {:.1} fF ({:+.1}%)",

@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- integrator side: only the artifact ----------------------------
     let model = AddPowerModel::load(artifact.as_slice())?;
-    println!("integrator loaded `{}` ({} inputs)", model.name(), model.num_inputs());
+    println!(
+        "integrator loaded `{}` ({} inputs)",
+        model.name(),
+        model.num_inputs()
+    );
     println!(
         "  average switched capacitance: {:.1} fF",
         model.average_capacitance().femtofarads()
@@ -76,8 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The integrator can also derive smaller variants without the vendor.
-    let compact = AddPowerModel::load(artifact.as_slice())?
-        .shrink(200, ApproxStrategy::Average);
+    let compact = AddPowerModel::load(artifact.as_slice())?.shrink(200, ApproxStrategy::Average);
     println!(
         "\n  derived 200-node variant locally: {} nodes, avg {:.1} fF",
         compact.size(),

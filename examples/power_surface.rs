@@ -48,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut source = MarkovSource::new(netlist.num_inputs(), sp, st, 77)?;
         let patterns = source.sequence(20_000);
         let trace = sim.switching_trace(&patterns);
-        let simulated =
-            trace.iter().map(|c| c.femtofarads()).sum::<f64>() / trace.len() as f64;
+        let simulated = trace.iter().map(|c| c.femtofarads()).sum::<f64>() / trace.len() as f64;
         println!(
             "  (sp={sp}, st={st}): analytic {analytic:8.3} fF, simulated {simulated:8.3} fF ({:+.2}%)",
             (analytic - simulated) / simulated * 100.0

@@ -34,7 +34,10 @@ fn main() {
     // golden-model simulator.
     let sim = ZeroDelaySim::new(&unit);
     println!("Fig. 2b — switching-capacitance LUT (fF):");
-    println!("{:>6} {:>6} {:>8} {:>10}", "x^i", "x^f", "model", "gate-level");
+    println!(
+        "{:>6} {:>6} {:>8} {:>10}",
+        "x^i", "x^f", "model", "gate-level"
+    );
     for (xi, xf) in ExhaustivePairs::new(2) {
         let predicted = model.capacitance(&xi, &xf);
         let simulated = sim.switching_capacitance(&xi, &xf);

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     design.add_instance("dec0", bound(&dec, 500), (11..16).collect())?;
 
     let worst_sum = design.worst_case_sum();
-    println!("datapath: {} macros on a 16-bit bus", design.instances().len());
+    println!(
+        "datapath: {} macros on a 16-bit bus",
+        design.instances().len()
+    );
     println!("naive worst-case budget (sum of per-macro maxima): {worst_sum}");
 
     // A realistic bus workload: moderate activity.

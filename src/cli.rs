@@ -1,16 +1,18 @@
 //! The `charfree` command-line interface.
 //!
 //! Thin, dependency-free argument handling around the library: every
-//! subcommand is a pure function from parsed options to a printable
-//! report, so the whole CLI is unit-testable without spawning processes.
+//! subcommand routes through the one typed build/eval path in
+//! `charfree-pipeline` and is a pure function from parsed options to a
+//! printable report, so the whole CLI is unit-testable without spawning
+//! processes.
 //!
 //! ```text
-//! charfree model <netlist.{blif,v}> [-o M.cfm] [--kernel] [--max N]
+//! charfree model <netlist|bench> [-o M.cfm] [--kernel] [--max N]
 //!                [--upper-bound] [--library L.lib] [--paper-plain]
 //!                [--node-budget N] [--time-budget SECS] [--strict]
-//! charfree eval <M.{cfm,cfk}> [--vectors N] [--sp P] [--st P] [--vdd V]
-//!                [--period NS] [--seed S] [--jobs N]
-//! charfree datasheet <M.cfm> [--top K]
+//! charfree eval <model|kernel|netlist|bench> [--vectors N] [--sp P]
+//!                [--st P] [--vdd V] [--period NS] [--seed S] [--jobs N]
+//! charfree datasheet <model|netlist|bench> [--top K]
 //! charfree sim <netlist.{blif,v}> [--vectors N] [--sp P] [--st P]
 //!                [--library L.lib] [--seed S]
 //! charfree bench <name> [--format blif|verilog]
@@ -18,21 +20,29 @@
 //!                [--max N] [-o BENCH_engine.json]
 //! ```
 //!
-//! The trace-shaped subcommands (`eval`, `trace`, `throughput`) compile
-//! the model's decision diagram into a flat `charfree-engine` kernel and
-//! evaluate transitions in packed batches across `--jobs` workers; the
-//! arena-backed model remains the reference oracle (`throughput`
-//! cross-checks the two on every run). `eval`, `trace` and `expected`
-//! also accept a compiled `.cfk` kernel (written by `model --kernel`)
-//! directly — no diagram arena is built at all in that case.
+//! Every subcommand that builds or evaluates also accepts:
+//!
+//! * `--cache-dir DIR` — a content-addressed artifact store; identical
+//!   (netlist, library, options) runs warm-load the compiled kernel and
+//!   perform zero ADD apply steps, with byte-identical stdout.
+//! * `--telemetry json` — the pipeline's per-stage event stream (wall
+//!   time, node counts, degradation rungs, cache hits/misses), printed
+//!   to **stderr** so stdout stays stable across cold and warm runs.
+//!
+//! Operands are classified by [`Source::infer`]: `.cfk` loads a compiled
+//! kernel (no diagram arena is built at all), `.cfm` a saved model,
+//! netlist files parse as BLIF/Verilog, and anything else names a
+//! built-in benchmark.
 
-use charfree_core::{AddPowerModel, ApproxStrategy, ModelBuilder, PowerModel};
-use charfree_engine::{throughput, Kernel, TraceEngine};
+use charfree_core::PowerModel;
+use charfree_engine::throughput;
 use charfree_netlist::units::Voltage;
-use charfree_netlist::{benchmarks, blif, libspec, verilog, Library, Netlist};
+use charfree_netlist::{blif, libspec, verilog, Library};
+use charfree_pipeline::{ArtifactStore, BuildOptions, PipelineCtx, Source};
 use charfree_sim::{MarkovSource, ZeroDelaySim};
 use std::fmt::Write as _;
 use std::fs;
+use std::path::Path;
 
 /// A CLI failure, printed to stderr with exit code 1.
 pub type CliError = String;
@@ -71,21 +81,27 @@ fn usage(prefix: &str) -> String {
         "charfree — characterization-free behavioral power modeling\n\
          \n\
          usage:\n\
-         \x20 charfree model <netlist.{blif,v}> [-o M.cfm] [--kernel] [--max N]\n\
+         \x20 charfree model <netlist|bench> [-o M.cfm] [--kernel] [--max N]\n\
          \x20                [--upper-bound] [--library L.lib] [--paper-plain]\n\
          \x20                [--node-budget N] [--time-budget SECS] [--strict]\n\
-         \x20 charfree eval <M.{cfm,cfk}> [--vectors N] [--sp P] [--st P] [--vdd V]\n\
-         \x20                [--period NS] [--seed S] [--jobs N]\n\
-         \x20 charfree datasheet <M.cfm> [--top K]\n\
-         \x20 charfree expected <M.{cfm,cfk}> [--sp P] [--st P]\n\
-         \x20 charfree trace <M.{cfm,cfk}> [--vectors N] [--sp P] [--st P] [--vdd V]\n\
-         \x20                [--period NS] [--seed S] [--jobs N] [-o out.csv]\n\
+         \x20 charfree eval <model|kernel|netlist|bench> [--vectors N] [--sp P]\n\
+         \x20                [--st P] [--vdd V] [--period NS] [--seed S] [--jobs N]\n\
+         \x20 charfree datasheet <model|netlist|bench> [--top K]\n\
+         \x20 charfree expected <model|kernel|netlist|bench> [--sp P] [--st P]\n\
+         \x20 charfree trace <model|kernel|netlist|bench> [--vectors N] [--sp P]\n\
+         \x20                [--st P] [--vdd V] [--period NS] [--seed S] [--jobs N]\n\
+         \x20                [-o out.csv]\n\
          \x20 charfree sim <netlist.{blif,v}> [--vectors N] [--sp P] [--st P]\n\
          \x20                [--library L.lib] [--seed S]\n\
          \x20 charfree bench <name> [--format blif|verilog]\n\
          \x20 charfree throughput <bench|netlist|M.cfm> [--vectors N] [--jobs N]\n\
          \x20                [--max N] [--sp P] [--st P] [--seed S]\n\
          \x20                [--library L.lib] [-o BENCH_engine.json]\n\
+         \n\
+         every building/evaluating subcommand also takes\n\
+         \x20                [--cache-dir DIR] [--telemetry json]\n\
+         (`--cache-dir` warm-loads identical builds from a content-addressed\n\
+         artifact store; `--telemetry json` streams per-stage events to stderr)\n\
          \n\
          `--jobs 0` (the default) uses one worker per available core;\n\
          results are bit-identical for every worker count.\n",
@@ -172,38 +188,90 @@ fn load_library(flags: &mut Flags<'_>) -> Result<Library, CliError> {
     }
 }
 
-fn load_netlist(path: &str, library: &Library) -> Result<Netlist, CliError> {
-    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut netlist = if path.ends_with(".v") || path.ends_with(".sv") {
-        verilog::parse(&text).map_err(|e| format!("{path}: {e}"))?
-    } else {
-        blif::parse(&text).map_err(|e| format!("{path}: {e}"))?
-    };
-    netlist.annotate_loads(library);
-    Ok(netlist)
+/// The per-invocation pipeline session every subcommand shares: library
+/// selection, optional artifact store and telemetry rendering are parsed
+/// once, here, instead of per-command.
+struct Session {
+    ctx: PipelineCtx,
+    telemetry_json: bool,
 }
 
-fn load_model(path: &str) -> Result<AddPowerModel, CliError> {
-    let text = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-    AddPowerModel::load(text.as_slice()).map_err(|e| format!("{path}: {e}"))
+impl Session {
+    /// Parses the shared `--library`, `--cache-dir` and `--telemetry`
+    /// flags into a ready pipeline context.
+    fn from_flags(flags: &mut Flags<'_>) -> Result<Session, CliError> {
+        let library = load_library(flags)?;
+        let mut ctx = PipelineCtx::new(library);
+        if let Some(dir) = flags.value("--cache-dir")? {
+            ctx = ctx.with_store(ArtifactStore::new(dir));
+        }
+        let telemetry_json = match flags.value("--telemetry")? {
+            None => false,
+            Some("json") => true,
+            Some(other) => {
+                return Err(format!(
+                    "unknown telemetry format `{other}` (expected `json`)"
+                ))
+            }
+        };
+        Ok(Session {
+            ctx,
+            telemetry_json,
+        })
+    }
+
+    /// Applies the run's build options to the context.
+    fn with_options(mut self, options: BuildOptions) -> Self {
+        self.ctx = self.ctx.with_options(options);
+        self
+    }
+
+    /// Emits the telemetry stream (stderr, so stdout stays byte-identical
+    /// between cold and warm runs) and returns the report unchanged.
+    fn finish(&self, report: String) -> Result<String, CliError> {
+        if self.telemetry_json {
+            eprintln!("{}", self.ctx.telemetry.to_json());
+        }
+        Ok(report)
+    }
 }
 
-/// An evaluation kernel from either artifact kind: a compiled `.cfk`
-/// kernel is loaded directly (no arena is ever built); anything else is
-/// treated as a `.cfm` model and compiled on the fly.
-fn load_kernel_input(path: &str) -> Result<Kernel, CliError> {
-    if path.ends_with(".cfk") {
-        let text = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-        Kernel::load(text.as_slice()).map_err(|e| format!("{path}: {e}"))
-    } else {
-        Ok(Kernel::compile(&load_model(path)?))
+/// The evaluation parameters shared by the trace-shaped subcommands.
+struct EvalParams {
+    vectors: usize,
+    sp: f64,
+    st: f64,
+    vdd: f64,
+    period: f64,
+    seed: u64,
+    jobs: usize,
+}
+
+impl EvalParams {
+    fn parse(flags: &mut Flags<'_>, default_vectors: usize) -> Result<EvalParams, CliError> {
+        Ok(EvalParams {
+            vectors: flags.parse("--vectors", default_vectors)?,
+            sp: flags.parse("--sp", 0.5)?,
+            st: flags.parse("--st", 0.5)?,
+            vdd: flags.parse("--vdd", 3.3)?,
+            period: flags.parse("--period", 10.0)?,
+            seed: flags.parse("--seed", 1)?,
+            jobs: flags.parse("--jobs", 0)?,
+        })
+    }
+
+    /// The Markov-source pattern sequence these parameters describe.
+    fn patterns(&self, num_inputs: usize) -> Result<Vec<Vec<bool>>, CliError> {
+        let mut source = MarkovSource::new(num_inputs, self.sp, self.st, self.seed)
+            .map_err(|e| e.to_string())?;
+        Ok(source.sequence(self.vectors.max(2)))
     }
 }
 
 fn cmd_model(args: &[String]) -> Result<String, CliError> {
     let mut flags = Flags::new(args);
-    let library = load_library(&mut flags)?;
-    let netlist_path = flags.positional()?;
+    let mut session = Session::from_flags(&mut flags)?;
+    let operand = flags.positional()?;
     let out_path = flags.value("-o")?.map(str::to_owned);
     let max: usize = flags.parse("--max", 0)?;
     let node_budget: u64 = flags.parse("--node-budget", 0)?;
@@ -220,29 +288,32 @@ fn cmd_model(args: &[String]) -> Result<String, CliError> {
         return Err(format!("bad value `{time_budget}` for `--time-budget`"));
     }
 
-    let netlist = load_netlist(netlist_path, &library)?;
-    let mut builder = ModelBuilder::new(&netlist);
+    let mut options = if paper_plain {
+        BuildOptions::paper_plain()
+    } else {
+        BuildOptions::default()
+    };
     if max > 0 {
-        builder = builder.max_nodes(max);
+        options.max_nodes = Some(max);
     }
     if node_budget > 0 {
-        builder = builder.node_budget(node_budget);
+        options.node_budget = Some(node_budget);
     }
     if time_budget > 0.0 {
-        builder = builder.time_budget(std::time::Duration::from_secs_f64(time_budget));
+        options.time_budget = Some(std::time::Duration::from_secs_f64(time_budget));
     }
-    builder = builder.strict(strict);
-    if upper_bound {
-        builder = builder.strategy(ApproxStrategy::UpperBound);
-    }
-    if paper_plain {
-        builder = builder
-            .collapse_toggles(&[0.5])
-            .leaf_recalibration(false)
-            .diagonal_gating(false);
-    }
-    let mut model = builder.try_build().map_err(|e| e.to_string())?;
-    model.set_name(netlist.name());
+    options.strict = strict;
+    options.upper_bound = upper_bound;
+    session = session.with_options(options);
+
+    let netlist = session
+        .ctx
+        .load_netlist(&Source::infer(operand))
+        .map_err(|e| e.to_string())?;
+    let model = session
+        .ctx
+        .build_model(&netlist)
+        .map_err(|e| e.to_string())?;
 
     let mut report = String::new();
     let _ = writeln!(
@@ -271,11 +342,11 @@ fn cmd_model(args: &[String]) -> Result<String, CliError> {
             fs::write(&path, buf).map_err(|e| format!("{path}: {e}"))?;
             let _ = writeln!(report, "wrote {path}");
             if emit_kernel {
-                let kpath = std::path::Path::new(&path)
+                let kpath = Path::new(&path)
                     .with_extension("cfk")
                     .to_string_lossy()
                     .into_owned();
-                let kernel = Kernel::compile(&model);
+                let kernel = session.ctx.compile_kernel_from(&model);
                 let mut buf = Vec::new();
                 kernel.save(&mut buf).map_err(|e| e.to_string())?;
                 fs::write(&kpath, buf).map_err(|e| format!("{kpath}: {e}"))?;
@@ -292,33 +363,30 @@ fn cmd_model(args: &[String]) -> Result<String, CliError> {
             let _ = writeln!(report, "(no -o given; model not persisted)");
         }
     }
-    Ok(report)
+    session.finish(report)
 }
 
 fn cmd_eval(args: &[String]) -> Result<String, CliError> {
     let mut flags = Flags::new(args);
-    let model_path = flags.positional()?;
-    let vectors: usize = flags.parse("--vectors", 10_000)?;
-    let sp: f64 = flags.parse("--sp", 0.5)?;
-    let st: f64 = flags.parse("--st", 0.5)?;
-    let vdd: f64 = flags.parse("--vdd", 3.3)?;
-    let period: f64 = flags.parse("--period", 10.0)?;
-    let seed: u64 = flags.parse("--seed", 1)?;
-    let jobs: usize = flags.parse("--jobs", 0)?;
+    let mut session = Session::from_flags(&mut flags)?;
+    let operand = flags.positional()?;
+    let params = EvalParams::parse(&mut flags, 10_000)?;
     flags.finish()?;
 
-    let kernel = load_kernel_input(model_path)?;
-    let mut source = MarkovSource::new(kernel.num_inputs(), sp, st, seed)
+    let kernel = session
+        .ctx
+        .kernel_for(&Source::infer(operand))
         .map_err(|e| e.to_string())?;
-    let patterns = source.sequence(vectors.max(2));
-    let vdd = Voltage(vdd);
+    let patterns = params.patterns(kernel.num_inputs())?;
+    let vdd = Voltage(params.vdd);
     // Compiled-kernel fast path: batch-evaluate the switched capacitance
     // of the whole stream, then scale by Vdd² (energy is monotone in C,
     // so the summary's max is the energy peak too).
-    let summary = TraceEngine::new(&kernel).jobs(jobs).evaluate(&patterns);
+    let summary = session.ctx.evaluate(&kernel, &patterns, params.jobs);
     let sum = vdd.volts() * vdd.volts() * summary.sum_ff;
     let peak = (vdd.volts() * vdd.volts() * summary.max_ff).max(0.0);
     let cycles = summary.transitions as f64;
+    let (sp, st, period) = (params.sp, params.st, params.period);
     let mut report = String::new();
     let _ = writeln!(
         report,
@@ -328,19 +396,27 @@ fn cmd_eval(args: &[String]) -> Result<String, CliError> {
         vdd.volts()
     );
     let _ = writeln!(report, "  average energy/cycle: {:.2} fJ", sum / cycles);
-    let _ = writeln!(report, "  average power:        {:.3} uW", sum / cycles / period);
+    let _ = writeln!(
+        report,
+        "  average power:        {:.3} uW",
+        sum / cycles / period
+    );
     let _ = writeln!(report, "  peak energy/cycle:    {peak:.2} fJ");
     let _ = writeln!(report, "  peak power:           {:.3} uW", peak / period);
-    Ok(report)
+    session.finish(report)
 }
 
 fn cmd_datasheet(args: &[String]) -> Result<String, CliError> {
     let mut flags = Flags::new(args);
-    let model_path = flags.positional()?;
+    let mut session = Session::from_flags(&mut flags)?;
+    let operand = flags.positional()?;
     let top: usize = flags.parse("--top", 5)?;
     flags.finish()?;
 
-    let model = load_model(model_path)?;
+    let model = session
+        .ctx
+        .model_for(&Source::infer(operand))
+        .map_err(|e| e.to_string())?;
     let mut report = String::new();
     let _ = writeln!(
         report,
@@ -362,9 +438,8 @@ fn cmd_datasheet(args: &[String]) -> Result<String, CliError> {
     );
     let _ = writeln!(report, "  top {top} capacitance levels:");
     for level in model.peak_spectrum(top) {
-        let fmt_bits = |bits: &[bool]| -> String {
-            bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
-        };
+        let fmt_bits =
+            |bits: &[bool]| -> String { bits.iter().map(|&b| if b { '1' } else { '0' }).collect() };
         let _ = writeln!(
             report,
             "    {:>9.2} fF  x{:<12} {} -> {}",
@@ -374,30 +449,37 @@ fn cmd_datasheet(args: &[String]) -> Result<String, CliError> {
             fmt_bits(&level.witness.1)
         );
     }
-    Ok(report)
+    session.finish(report)
 }
 
 fn cmd_expected(args: &[String]) -> Result<String, CliError> {
     let mut flags = Flags::new(args);
-    let model_path = flags.positional()?;
+    let mut session = Session::from_flags(&mut flags)?;
+    let operand = flags.positional()?;
     let sp: f64 = flags.parse("--sp", 0.5)?;
     let st: f64 = flags.parse("--st", 0.5)?;
     flags.finish()?;
     // The flat kernel evaluates the expectation without touching the
     // manager arena; grouped-ordering models (whose pair correlation is
     // not chain-expressible on the kernel) fall back to the arena path,
-    // which needs the `.cfm` artifact.
-    let kernel = load_kernel_input(model_path)?;
+    // which needs a model-carrying source.
+    let source = Source::infer(operand);
+    let kernel = session.ctx.kernel_for(&source).map_err(|e| e.to_string())?;
     let c = if kernel.is_interleaved() {
         kernel.expected_capacitance(sp, st)
-    } else if model_path.ends_with(".cfk") {
-        return Err(
-            "grouped-ordering kernels cannot evaluate expectations; \
+    } else if matches!(source, Source::KernelFile(_)) {
+        return Err("grouped-ordering kernels cannot evaluate expectations; \
              pass the `.cfm` model instead"
-                .to_owned(),
-        );
+            .to_owned());
     } else {
-        load_model(model_path)?.expected_capacitance(sp, st).femtofarads()
+        // Cache-friendly fallback: with a store attached the model this
+        // re-derives is a warm artifact hit, not a second build.
+        session
+            .ctx
+            .model_for(&source)
+            .map_err(|e| e.to_string())?
+            .expected_capacitance(sp, st)
+            .femtofarads()
     };
     let mut report = String::new();
     let _ = writeln!(
@@ -407,33 +489,29 @@ fn cmd_expected(args: &[String]) -> Result<String, CliError> {
         c
     );
     let _ = writeln!(report, "(symbolic — no simulation vectors involved)");
-    Ok(report)
+    session.finish(report)
 }
 
 fn cmd_trace(args: &[String]) -> Result<String, CliError> {
     let mut flags = Flags::new(args);
-    let model_path = flags.positional()?;
-    let vectors: usize = flags.parse("--vectors", 1000)?;
-    let sp: f64 = flags.parse("--sp", 0.5)?;
-    let st: f64 = flags.parse("--st", 0.5)?;
-    let vdd: f64 = flags.parse("--vdd", 3.3)?;
-    let period: f64 = flags.parse("--period", 10.0)?;
-    let seed: u64 = flags.parse("--seed", 1)?;
-    let jobs: usize = flags.parse("--jobs", 0)?;
+    let mut session = Session::from_flags(&mut flags)?;
+    let operand = flags.positional()?;
+    let params = EvalParams::parse(&mut flags, 1000)?;
     let out_path = flags.value("-o")?.map(str::to_owned);
     flags.finish()?;
 
-    let kernel = load_kernel_input(model_path)?;
-    let mut source = MarkovSource::new(kernel.num_inputs(), sp, st, seed)
+    let kernel = session
+        .ctx
+        .kernel_for(&Source::infer(operand))
         .map_err(|e| e.to_string())?;
-    let patterns = source.sequence(vectors.max(2));
-    let caps: Vec<_> = TraceEngine::new(&kernel)
-        .jobs(jobs)
-        .trace(&patterns)
+    let patterns = params.patterns(kernel.num_inputs())?;
+    let caps: Vec<_> = session
+        .ctx
+        .trace(&kernel, &patterns, params.jobs)
         .into_iter()
         .map(charfree_netlist::units::Capacitance)
         .collect();
-    let trace = charfree_sim::EnergyTrace::from_switched(&caps, Voltage(vdd), period);
+    let trace = charfree_sim::EnergyTrace::from_switched(&caps, Voltage(params.vdd), params.period);
 
     let mut csv = Vec::new();
     trace.write_csv(&mut csv).map_err(|e| e.to_string())?;
@@ -448,15 +526,15 @@ fn cmd_trace(args: &[String]) -> Result<String, CliError> {
                 trace.average_power().microwatts(),
                 trace.windowed_peak_energy(16).femtojoules()
             );
-            Ok(report)
+            session.finish(report)
         }
-        None => Ok(String::from_utf8(csv).map_err(|e| e.to_string())?),
+        None => session.finish(String::from_utf8(csv).map_err(|e| e.to_string())?),
     }
 }
 
 fn cmd_sim(args: &[String]) -> Result<String, CliError> {
     let mut flags = Flags::new(args);
-    let library = load_library(&mut flags)?;
+    let mut session = Session::from_flags(&mut flags)?;
     let netlist_path = flags.positional()?;
     let vectors: usize = flags.parse("--vectors", 10_000)?;
     let sp: f64 = flags.parse("--sp", 0.5)?;
@@ -464,7 +542,10 @@ fn cmd_sim(args: &[String]) -> Result<String, CliError> {
     let seed: u64 = flags.parse("--seed", 1)?;
     flags.finish()?;
 
-    let netlist = load_netlist(netlist_path, &library)?;
+    let netlist = session
+        .ctx
+        .load_netlist(&Source::infer(netlist_path))
+        .map_err(|e| e.to_string())?;
     let sim = ZeroDelaySim::new(&netlist);
     let mut source =
         MarkovSource::new(netlist.num_inputs(), sp, st, seed).map_err(|e| e.to_string())?;
@@ -484,7 +565,7 @@ fn cmd_sim(args: &[String]) -> Result<String, CliError> {
     );
     let _ = writeln!(report, "  average switched capacitance: {avg:.2} fF/cycle");
     let _ = writeln!(report, "  peak switched capacitance:    {peak:.2} fF");
-    Ok(report)
+    session.finish(report)
 }
 
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
@@ -493,9 +574,10 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let format = flags.value("--format")?.unwrap_or("blif").to_owned();
     flags.finish()?;
 
-    let library = Library::test_library();
-    let netlist = benchmarks::by_name(name, &library)
-        .ok_or_else(|| format!("unknown benchmark `{name}` (see DESIGN.md §4 for the set)"))?;
+    let mut ctx = PipelineCtx::new(Library::test_library());
+    let netlist = ctx
+        .parse_netlist(&Source::Bench(name.to_owned()))
+        .map_err(|e| e.to_string())?;
     match format.as_str() {
         "blif" => Ok(blif::write(&netlist)),
         "verilog" | "v" => Ok(verilog::write(&netlist)),
@@ -505,7 +587,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
 
 fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
     let mut flags = Flags::new(args);
-    let library = load_library(&mut flags)?;
+    let mut session = Session::from_flags(&mut flags)?;
     let target = flags.positional()?;
     let vectors: usize = flags.parse("--vectors", 20_000)?;
     let jobs: usize = flags.parse("--jobs", 0)?;
@@ -516,25 +598,17 @@ fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
     let out_path = flags.value("-o")?.map(str::to_owned);
     flags.finish()?;
 
+    if max > 0 {
+        session = session.with_options(BuildOptions {
+            max_nodes: Some(max),
+            ..BuildOptions::default()
+        });
+    }
     // The operand is a saved model, a netlist file, or a benchmark name.
-    let model = if target.ends_with(".cfm") {
-        load_model(target)?
-    } else {
-        let netlist = if std::path::Path::new(target).exists() {
-            load_netlist(target, &library)?
-        } else {
-            benchmarks::by_name(target, &library).ok_or_else(|| {
-                format!("`{target}` is neither a file nor a known benchmark")
-            })?
-        };
-        let mut builder = ModelBuilder::new(&netlist);
-        if max > 0 {
-            builder = builder.max_nodes(max);
-        }
-        let mut model = builder.build();
-        model.set_name(netlist.name());
-        model
-    };
+    let model = session
+        .ctx
+        .model_for(&Source::infer(target))
+        .map_err(|e| e.to_string())?;
 
     let mut source =
         MarkovSource::new(model.num_inputs(), sp, st, seed).map_err(|e| e.to_string())?;
@@ -579,12 +653,29 @@ fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
         "  parity with arena oracle: {}",
         if record.parity { "ok" } else { "FAILED" }
     );
+    match session.ctx.store() {
+        Some(store) => {
+            let _ = writeln!(
+                report,
+                "  artifact cache: {} hit(s), {} miss(es) at {}",
+                session.ctx.telemetry.cache_hits(),
+                session.ctx.telemetry.cache_misses(),
+                store.dir().display()
+            );
+        }
+        None => {
+            let _ = writeln!(
+                report,
+                "  artifact cache: off (enable with --cache-dir DIR)"
+            );
+        }
+    }
     if let Some(path) = out_path {
         fs::write(&path, throughput::records_to_json(&[record]))
             .map_err(|e| format!("{path}: {e}"))?;
         let _ = writeln!(report, "wrote {path}");
     }
-    Ok(report)
+    session.finish(report)
 }
 
 #[cfg(test)]
@@ -652,9 +743,13 @@ mod tests {
         .expect("datasheet runs");
         assert!(report.contains("worst-case"));
 
-        let report =
-            run(&s(&["sim", netlist_path.to_str().expect("utf8"), "--vectors", "500"]))
-                .expect("sim runs");
+        let report = run(&s(&[
+            "sim",
+            netlist_path.to_str().expect("utf8"),
+            "--vectors",
+            "500",
+        ]))
+        .expect("sim runs");
         assert!(report.contains("gate-level simulation"));
     }
 
@@ -667,8 +762,14 @@ mod tests {
         let path = netlist_path.to_str().expect("utf8");
 
         // Over-budget build degrades with a warning instead of failing.
-        let report = run(&s(&["model", path, "--node-budget", "300", "--upper-bound"]))
-            .expect("degraded build still succeeds");
+        let report = run(&s(&[
+            "model",
+            path,
+            "--node-budget",
+            "300",
+            "--upper-bound",
+        ]))
+        .expect("degraded build still succeeds");
         assert!(report.contains("built power model"), "{report}");
         assert!(report.contains("warning: degraded build"), "{report}");
 
@@ -738,10 +839,20 @@ mod more_tests {
     #[test]
     fn expected_subcommand_is_monotone_in_activity() {
         let model_path = model_file();
-        let low = run(&s(&["expected", model_path.to_str().expect("utf8"), "--st", "0.1"]))
-            .expect("expected runs");
-        let high = run(&s(&["expected", model_path.to_str().expect("utf8"), "--st", "0.8"]))
-            .expect("expected runs");
+        let low = run(&s(&[
+            "expected",
+            model_path.to_str().expect("utf8"),
+            "--st",
+            "0.1",
+        ]))
+        .expect("expected runs");
+        let high = run(&s(&[
+            "expected",
+            model_path.to_str().expect("utf8"),
+            "--st",
+            "0.8",
+        ]))
+        .expect("expected runs");
         let grab = |text: &str| -> f64 {
             text.split(':')
                 .nth(1)
@@ -846,11 +957,91 @@ mod more_tests {
     fn trace_is_deterministic_across_jobs() {
         let model_path = model_file();
         let path = model_path.to_str().expect("utf8");
-        let one = run(&s(&["trace", path, "--vectors", "600", "--jobs", "1"]))
-            .expect("trace -j1");
-        let eight = run(&s(&["trace", path, "--vectors", "600", "--jobs", "8"]))
-            .expect("trace -j8");
+        let one = run(&s(&["trace", path, "--vectors", "600", "--jobs", "1"])).expect("trace -j1");
+        let eight =
+            run(&s(&["trace", path, "--vectors", "600", "--jobs", "8"])).expect("trace -j8");
         assert_eq!(one, eight, "worker count must not change the trace");
+    }
+
+    #[test]
+    fn operands_accept_bench_names_directly() {
+        // The pipeline's source inference makes every build/eval command
+        // take netlists and benchmark names, not just saved artifacts.
+        let report = run(&s(&["eval", "decod", "--vectors", "200"])).expect("eval on bench");
+        assert!(report.contains("model `decod`"), "{report}");
+        let report = run(&s(&["datasheet", "decod"])).expect("datasheet on bench");
+        assert!(report.contains("worst-case"), "{report}");
+        let report = run(&s(&["expected", "decod", "--st", "0.4"])).expect("expected on bench");
+        assert!(report.contains("fF/cycle"), "{report}");
+    }
+
+    #[test]
+    fn cache_dir_makes_warm_runs_byte_identical() {
+        let dir = std::env::temp_dir().join("charfree-cli-test-cache");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("tmp dir");
+        let cache = dir.join("store");
+        let cache = cache.to_str().expect("utf8");
+
+        let eval = |tag: &str| {
+            run(&s(&[
+                "eval",
+                "decod",
+                "--vectors",
+                "300",
+                "--cache-dir",
+                cache,
+            ]))
+            .unwrap_or_else(|e| panic!("{tag} eval: {e}"))
+        };
+        let cold = eval("cold");
+        // The store now holds both artifacts...
+        let entries: Vec<_> = fs::read_dir(cache)
+            .expect("store created")
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        assert!(entries
+            .iter()
+            .any(|p| p.extension().is_some_and(|e| e == "cfm")));
+        assert!(entries
+            .iter()
+            .any(|p| p.extension().is_some_and(|e| e == "cfk")));
+        // ...and a warm run reproduces stdout byte for byte.
+        assert_eq!(cold, eval("warm"));
+
+        // The throughput report surfaces the cache counters.
+        let report = run(&s(&[
+            "throughput",
+            "decod",
+            "--vectors",
+            "200",
+            "--cache-dir",
+            cache,
+            "--max",
+            "300",
+        ]))
+        .expect("throughput with cache");
+        assert!(report.contains("artifact cache:"), "{report}");
+        let report = run(&s(&["throughput", "decod", "--vectors", "200"])).expect("throughput");
+        assert!(report.contains("artifact cache: off"), "{report}");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_flag_is_validated() {
+        assert!(run(&s(&[
+            "eval",
+            "decod",
+            "--vectors",
+            "200",
+            "--telemetry",
+            "json"
+        ]))
+        .is_ok());
+        let err = run(&s(&["eval", "decod", "--telemetry", "xml"])).expect_err("bad format");
+        assert!(err.contains("telemetry"), "{err}");
     }
 
     #[test]
@@ -879,6 +1070,8 @@ mod more_tests {
         ]))
         .expect("trace writes");
         assert!(report.contains("wrote"));
-        assert!(fs::read_to_string(&out).expect("written").starts_with("cycle,"));
+        assert!(fs::read_to_string(&out)
+            .expect("written")
+            .starts_with("cycle,"));
     }
 }

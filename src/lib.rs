@@ -41,6 +41,10 @@
 //! the paper-vs-measured record of every table and figure.
 
 #![warn(missing_docs)]
+// `.unwrap()` is banned crate-wide; `.expect()` remains available for
+// invariants with a stated justification, and tests are exempt.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod cli;
 
@@ -58,3 +62,8 @@ pub use charfree_sim as sim;
 /// Compiled ADD kernels and the batched, multi-threaded trace engine
 /// (re-export of `charfree-engine`).
 pub use charfree_engine as engine;
+
+/// Typed staged pipeline and content-addressed artifact store — the one
+/// build/eval path every consumer routes through (re-export of
+/// `charfree-pipeline`).
+pub use charfree_pipeline as pipeline;

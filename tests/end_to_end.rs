@@ -40,7 +40,10 @@ fn blif_to_power_model_pipeline() {
 
     // Every pair over 5 inputs.
     for (xi, xf) in charfree::sim::ExhaustivePairs::new(5) {
-        assert_eq!(model.capacitance(&xi, &xf), sim.switching_capacitance(&xi, &xf));
+        assert_eq!(
+            model.capacitance(&xi, &xf),
+            sim.switching_capacitance(&xi, &xf)
+        );
     }
 
     // Round-trip through the writer and re-model: same power behavior.
@@ -146,8 +149,12 @@ fn rtl_composition_bounds_a_two_macro_design() {
     for t in 0..patterns.len() - 1 {
         let (xi, xf) = (&patterns[t], &patterns[t + 1]);
         let b = design.capacitance(xi, xf).femtofarads();
-        let truth = dec_sim.switching_capacitance(&xi[..5], &xf[..5]).femtofarads()
-            + par_sim.switching_capacitance(&xi[5..], &xf[5..]).femtofarads();
+        let truth = dec_sim
+            .switching_capacitance(&xi[..5], &xf[..5])
+            .femtofarads()
+            + par_sim
+                .switching_capacitance(&xi[5..], &xf[5..])
+                .femtofarads();
         assert!(b >= truth - 1e-9, "composed bound must dominate");
         assert!(b <= worst + 1e-9, "and stay below the worst-case sum");
         peak_bound = peak_bound.max(b);
@@ -163,7 +170,9 @@ fn characterization_free_means_no_simulation_for_the_add_model() {
     // Build models for every Table 1 circuit except the two largest; no
     // TrainingSet / simulator is ever constructed on this path.
     let library = Library::test_library();
-    for name in ["cmb", "cm150", "cm85", "decod", "mux", "parity", "pcle", "x2"] {
+    for name in [
+        "cmb", "cm150", "cm85", "decod", "mux", "parity", "pcle", "x2",
+    ] {
         let netlist = benchmarks::by_name(name, &library).expect("known");
         let model = ModelBuilder::new(&netlist).max_nodes(500).build();
         assert!(model.size() <= 500, "{name}");

@@ -8,7 +8,11 @@ use charfree::{ApproxStrategy, InputOrder, ModelBuilder, PowerModel, VariableOrd
 fn exhaustive_equal(netlist: &Netlist) {
     let sim = ZeroDelaySim::new(netlist);
     let model = ModelBuilder::new(netlist).build();
-    assert!(model.report().exact, "{} must build exactly", netlist.name());
+    assert!(
+        model.report().exact,
+        "{} must build exactly",
+        netlist.name()
+    );
     for (xi, xf) in ExhaustivePairs::new(netlist.num_inputs() as u32) {
         assert_eq!(
             model.capacitance(&xi, &xf),
@@ -62,7 +66,10 @@ fn custom_input_order_round_trips() {
         .input_order(InputOrder::Custom(vec![4, 3, 2, 1, 0]))
         .build();
     for (xi, xf) in ExhaustivePairs::new(5) {
-        assert_eq!(model.capacitance(&xi, &xf), sim.switching_capacitance(&xi, &xf));
+        assert_eq!(
+            model.capacitance(&xi, &xf),
+            sim.switching_capacitance(&xi, &xf)
+        );
     }
 }
 
@@ -165,6 +172,9 @@ fn hand_built_netlist_full_flow() {
     let sim = ZeroDelaySim::new(&n);
     let model = ModelBuilder::new(&n).build();
     for (xi, xf) in ExhaustivePairs::new(3) {
-        assert_eq!(model.capacitance(&xi, &xf), sim.switching_capacitance(&xi, &xf));
+        assert_eq!(
+            model.capacitance(&xi, &xf),
+            sim.switching_capacitance(&xi, &xf)
+        );
     }
 }

@@ -16,12 +16,11 @@ fn bursty_workload_stresses_out_of_sample_accuracy() {
     let sim = ZeroDelaySim::new(&netlist);
     let model = ModelBuilder::new(&netlist).max_nodes(500).build();
 
-    let mut source = BurstSource::new(11, (0.5, 0.04), (0.5, 0.7), 0.02, 0.08, 5)
-        .expect("feasible regimes");
+    let mut source =
+        BurstSource::new(11, (0.5, 0.04), (0.5, 0.7), 0.02, 0.08, 5).expect("feasible regimes");
     let patterns = source.sequence(6000);
     let golden = sim.switching_trace(&patterns);
-    let golden_avg =
-        golden.iter().map(|c| c.femtofarads()).sum::<f64>() / golden.len() as f64;
+    let golden_avg = golden.iter().map(|c| c.femtofarads()).sum::<f64>() / golden.len() as f64;
     let model_avg = (0..patterns.len() - 1)
         .map(|t| {
             model
@@ -31,7 +30,10 @@ fn bursty_workload_stresses_out_of_sample_accuracy() {
         .sum::<f64>()
         / (patterns.len() - 1) as f64;
     let re = (model_avg - golden_avg).abs() / golden_avg;
-    assert!(re < 0.15, "bursty-workload RE should stay small, got {re:.3}");
+    assert!(
+        re < 0.15,
+        "bursty-workload RE should stay small, got {re:.3}"
+    );
 }
 
 #[test]
@@ -43,8 +45,7 @@ fn upper_bound_dominates_on_bursts_too() {
         .max_nodes(300)
         .strategy(ApproxStrategy::UpperBound)
         .build();
-    let mut source =
-        BurstSource::new(5, (0.5, 0.1), (0.5, 0.9), 0.05, 0.2, 9).expect("feasible");
+    let mut source = BurstSource::new(5, (0.5, 0.1), (0.5, 0.9), 0.05, 0.2, 9).expect("feasible");
     let patterns = source.sequence(3000);
     for t in 0..patterns.len() - 1 {
         let b = bound.capacitance(&patterns[t], &patterns[t + 1]);
@@ -95,8 +96,9 @@ fn verilog_and_libspec_flow_end_to_end() {
     let text = verilog::write(&netlist);
     let reparsed = verilog::parse(&text).expect("round-trips");
 
-    let fat = libspec::parse("library fat\nwire 10.0\ncell inv 20.0\ncell and2 20.0\ncell and3 20.0\n")
-        .expect("valid spec");
+    let fat =
+        libspec::parse("library fat\nwire 10.0\ncell inv 20.0\ncell and2 20.0\ncell and3 20.0\n")
+            .expect("valid spec");
     let mut with_fat = reparsed.clone();
     with_fat.annotate_loads(&fat);
     let mut with_thin = reparsed;
@@ -135,12 +137,10 @@ fn analytic_expectation_matches_monte_carlo_across_circuits() {
         let model = ModelBuilder::new(&netlist).build(); // exact
         for (sp, st) in [(0.5, 0.3), (0.3, 0.25), (0.7, 0.15)] {
             let analytic = model.expected_capacitance(sp, st).femtofarads();
-            let mut source =
-                MarkovSource::new(netlist.num_inputs(), sp, st, 31).expect("feasible");
+            let mut source = MarkovSource::new(netlist.num_inputs(), sp, st, 31).expect("feasible");
             let patterns = source.sequence(30_000);
             let trace = sim.switching_trace(&patterns);
-            let simulated =
-                trace.iter().map(|c| c.femtofarads()).sum::<f64>() / trace.len() as f64;
+            let simulated = trace.iter().map(|c| c.femtofarads()).sum::<f64>() / trace.len() as f64;
             let re = (analytic - simulated).abs() / simulated;
             assert!(
                 re < 0.04,

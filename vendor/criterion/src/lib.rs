@@ -60,8 +60,7 @@ impl Bencher {
             println!("{name:<50} (no samples)");
             return;
         }
-        let mean: Duration =
-            self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let mean: Duration = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
         let min = self.samples.iter().min().copied().unwrap_or_default();
         let max = self.samples.iter().max().copied().unwrap_or_default();
         let rate = match throughput {

@@ -399,9 +399,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !$cond {
-            return ::core::result::Result::Err($crate::TestCaseError::reject(
-                stringify!($cond),
-            ));
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
         }
     };
 }
@@ -508,9 +506,11 @@ mod tests {
                 T::Node(a, b) => 1 + depth(a).max(depth(b)),
             }
         }
-        let s = (0u32..5).prop_map(T::Leaf).prop_recursive(3, 16, 2, |inner| {
-            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
-        });
+        let s = (0u32..5)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
         let mut rng = TestRng::new(3);
         let mut max_depth = 0;
         for _ in 0..200 {
