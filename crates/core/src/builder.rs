@@ -618,15 +618,7 @@ impl<'a> ModelBuilder<'a> {
             );
             let reorder_possible =
                 self.ordering == VariableOrdering::Interleaved && reorderings < 2;
-            let rung = if terminal || retries[gate_no] >= 3 {
-                DegradationRung::ConstantFallback
-            } else if retries[gate_no] == 1 {
-                DegradationRung::ShedPartialSums
-            } else if reorder_possible {
-                DegradationRung::ReorderVariables
-            } else {
-                DegradationRung::ConstantFallback
-            };
+            let rung = DegradationRung::select(terminal, retries[gate_no], reorder_possible);
             deg.rungs.push(rung);
             match rung {
                 DegradationRung::ShedPartialSums => {

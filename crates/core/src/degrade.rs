@@ -107,6 +107,33 @@ pub enum DegradationRung {
     ConstantFallback,
 }
 
+impl DegradationRung {
+    /// The ladder's transition function: which rung remediates the next
+    /// budget trip. Extracted from the builder's gate loop so the
+    /// escalation policy is unit-testable on its own:
+    ///
+    /// * a *terminal* trip (wall clock, apply steps, cancellation — a
+    ///   retry would trip again immediately) jumps straight to
+    ///   [`DegradationRung::ConstantFallback`];
+    /// * the first trip on a gate sheds partial sums;
+    /// * the second trip escalates to a variable reorder when one is
+    ///   still available (`reorder_possible`), otherwise falls back to
+    ///   constants;
+    /// * a gate that has already been retried three times falls back to
+    ///   constants unconditionally.
+    pub fn select(terminal: bool, gate_retries: usize, reorder_possible: bool) -> DegradationRung {
+        if terminal || gate_retries >= 3 {
+            DegradationRung::ConstantFallback
+        } else if gate_retries == 1 {
+            DegradationRung::ShedPartialSums
+        } else if reorder_possible {
+            DegradationRung::ReorderVariables
+        } else {
+            DegradationRung::ConstantFallback
+        }
+    }
+}
+
 impl fmt::Display for DegradationRung {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -218,6 +245,115 @@ mod tests {
         assert!(report.fired(DegradationRung::ShedPartialSums));
         assert!(!report.fired(DegradationRung::ReorderVariables));
         assert_eq!(report.firings(), 3);
+    }
+
+    /// Replays a trip sequence through [`DegradationRung::select`] the
+    /// way the builder's gate loop does: each entry is one budget trip on
+    /// a given gate, the per-gate retry count increments before the rung
+    /// is chosen, and reorders consume the shared two-reorder allowance.
+    fn replay(trips: &[(usize, bool)]) -> DegradationReport {
+        let mut retries = std::collections::HashMap::new();
+        let mut reorderings = 0usize;
+        let mut report = DegradationReport::default();
+        for &(gate, terminal) in trips {
+            let r = retries.entry(gate).or_insert(0usize);
+            *r += 1;
+            let rung = DegradationRung::select(terminal, *r, reorderings < 2);
+            if rung == DegradationRung::ReorderVariables {
+                reorderings += 1;
+            }
+            report.rungs.push(rung);
+            if rung == DegradationRung::ConstantFallback {
+                break;
+            }
+        }
+        report
+    }
+
+    #[test]
+    fn ladder_escalates_shed_reorder_constant_on_one_gate() {
+        // Three consecutive trips on the same gate walk the full ladder
+        // in order; the report records the exact sequence.
+        let report = replay(&[(0, false), (0, false), (0, false)]);
+        assert_eq!(
+            report.rungs,
+            vec![
+                DegradationRung::ShedPartialSums,
+                DegradationRung::ReorderVariables,
+                DegradationRung::ConstantFallback,
+            ]
+        );
+        assert_eq!(report.firings(), 3);
+    }
+
+    #[test]
+    fn ladder_restarts_at_shed_for_each_new_gate() {
+        // Trips on distinct gates each get their own first-rung shed; the
+        // escalation state is per gate, not global.
+        let report = replay(&[(0, false), (1, false), (2, false)]);
+        assert_eq!(report.rungs, vec![DegradationRung::ShedPartialSums; 3]);
+        assert!(!report.fired(DegradationRung::ReorderVariables));
+        assert!(!report.fired(DegradationRung::ConstantFallback));
+    }
+
+    #[test]
+    fn ladder_skips_reorder_when_none_is_available() {
+        // Grouped orderings (or an exhausted reorder allowance) cannot
+        // reorder, so the second trip on a gate falls back to constants.
+        assert_eq!(
+            DegradationRung::select(false, 2, false),
+            DegradationRung::ConstantFallback
+        );
+        // With the allowance spent on two earlier gates, a third gate's
+        // second trip ends the build.
+        let report = replay(&[
+            (0, false),
+            (0, false), // reorder #1
+            (1, false),
+            (1, false), // reorder #2
+            (2, false),
+            (2, false), // allowance exhausted -> constants
+        ]);
+        assert_eq!(
+            report.rungs,
+            vec![
+                DegradationRung::ShedPartialSums,
+                DegradationRung::ReorderVariables,
+                DegradationRung::ShedPartialSums,
+                DegradationRung::ReorderVariables,
+                DegradationRung::ShedPartialSums,
+                DegradationRung::ConstantFallback,
+            ]
+        );
+    }
+
+    #[test]
+    fn terminal_trips_jump_straight_to_constant_fallback() {
+        // Wall-clock/step/cancellation exhaustion is terminal even on a
+        // gate's very first trip.
+        for retries in 1..=4 {
+            assert_eq!(
+                DegradationRung::select(true, retries, true),
+                DegradationRung::ConstantFallback
+            );
+        }
+        let report = replay(&[(0, true)]);
+        assert_eq!(report.rungs, vec![DegradationRung::ConstantFallback]);
+    }
+
+    #[test]
+    fn fourth_trip_on_a_gate_always_ends_symbolic_construction() {
+        assert_eq!(
+            DegradationRung::select(false, 4, true),
+            DegradationRung::ConstantFallback
+        );
+        let report = replay(&[(0, false), (0, false), (0, false), (0, false)]);
+        // The third trip already fell back (ladder exhausted), so the
+        // replay stops there — constant fallback is absorbing.
+        assert_eq!(
+            report.rungs.last(),
+            Some(&DegradationRung::ConstantFallback)
+        );
     }
 
     #[test]

@@ -17,8 +17,11 @@ use crate::kernel::Kernel;
 
 /// Transitions per work chunk. Small enough to load-balance, large
 /// enough to amortize per-chunk packing; also the unit of deterministic
-/// merging.
-const DEFAULT_CHUNK: usize = 4096;
+/// merging. Public because the serving layer's micro-batcher reduces
+/// demultiplexed per-request traces with exactly this association (see
+/// [`TraceSummary::from_values`]) to stay bit-identical to the offline
+/// path.
+pub const DEFAULT_CHUNK: usize = 4096;
 
 /// Windows of the streaming mode span this many chunks regardless of the
 /// worker count, keeping stream summaries independent of `jobs` too.
@@ -51,12 +54,51 @@ impl TraceSummary {
         self.sum_ff / self.transitions as f64
     }
 
+    /// The canonical deterministic reduction of an already-evaluated
+    /// per-transition trace: partial sums are associated in `chunk`-sized
+    /// runs folded in order — the exact association
+    /// [`TraceEngine::evaluate`] uses for any worker count. This is the
+    /// demultiplexing hook for batching layers: evaluate transitions in
+    /// any lane packing (per-lane values are independent), scatter the
+    /// values back into per-request order, then reduce with this function
+    /// to get a summary bit-identical to a dedicated
+    /// [`TraceEngine::evaluate`] run with the same chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn from_values(values: &[f64], chunk: usize) -> TraceSummary {
+        assert!(chunk > 0, "chunk size must be positive");
+        let mut total = TraceSummary::empty();
+        for run in values.chunks(chunk) {
+            total.absorb(summarize_run(run));
+        }
+        total
+    }
+
     /// Folds `other` into `self` (ordered merge — callers merge in chunk
     /// order to stay deterministic).
     fn absorb(&mut self, other: TraceSummary) {
         self.transitions += other.transitions;
         self.sum_ff += other.sum_ff;
         self.max_ff = self.max_ff.max(other.max_ff);
+    }
+}
+
+/// Sequential sum/max reduction of one chunk's values — the single
+/// association unit shared by the worker loops and
+/// [`TraceSummary::from_values`].
+fn summarize_run(values: &[f64]) -> TraceSummary {
+    let mut sum = 0.0f64;
+    let mut max = f64::NEG_INFINITY;
+    for &c in values {
+        sum += c;
+        max = max.max(c);
+    }
+    TraceSummary {
+        transitions: values.len(),
+        sum_ff: sum,
+        max_ff: max,
     }
 }
 
@@ -245,17 +287,7 @@ impl<'k> TraceEngine<'k> {
                     block.extend_from_patterns(kernel, &patterns[start..=end]);
                     values.resize(block.len(), 0.0);
                     kernel.eval_batch_into(&block, &mut values);
-                    let mut sum = 0.0f64;
-                    let mut max = f64::NEG_INFINITY;
-                    for &c in &values {
-                        sum += c;
-                        max = max.max(c);
-                    }
-                    *slot = TraceSummary {
-                        transitions: values.len(),
-                        sum_ff: sum,
-                        max_ff: max,
-                    };
+                    *slot = summarize_run(&values);
                 }
             };
             if jobs == 1 {
@@ -375,6 +407,23 @@ mod tests {
         // Window/chunk boundaries coincide (window = 8 chunks), so even the
         // sum association is identical.
         assert_eq!(resident.sum_ff.to_bits(), streamed.sum_ff.to_bits());
+    }
+
+    #[test]
+    fn from_values_matches_evaluate_bit_for_bit() {
+        let (_, kernel) = cm85_kernel();
+        let mut source = MarkovSource::new(11, 0.5, 0.4, 17).expect("feasible");
+        // Not a multiple of the chunk size, to exercise the tail run.
+        let patterns = source.sequence(1103);
+        for chunk in [64, 100, DEFAULT_CHUNK] {
+            let engine = TraceEngine::new(&kernel).chunk_size(chunk).jobs(3);
+            let summary = engine.evaluate(&patterns);
+            let trace = engine.trace(&patterns);
+            let reduced = TraceSummary::from_values(&trace, chunk);
+            assert_eq!(summary.transitions, reduced.transitions);
+            assert_eq!(summary.sum_ff.to_bits(), reduced.sum_ff.to_bits());
+            assert_eq!(summary.max_ff.to_bits(), reduced.max_ff.to_bits());
+        }
     }
 
     #[test]

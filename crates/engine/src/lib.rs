@@ -38,5 +38,5 @@ pub mod throughput;
 
 pub use block::PatternBlock;
 pub use compiled::CompiledModel;
-pub use engine::{TraceEngine, TraceSummary};
+pub use engine::{TraceEngine, TraceSummary, DEFAULT_CHUNK};
 pub use kernel::{Instr, Kernel};

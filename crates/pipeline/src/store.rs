@@ -155,15 +155,31 @@ impl ArtifactStore {
     fn store_bytes(&self, key: ArtifactKey, kind: ArtifactKind, bytes: &[u8]) -> io::Result<()> {
         fs::create_dir_all(&self.dir)?;
         let path = self.path(key, kind);
+        // Concurrent writers under the same key are expected (two
+        // processes — or two threads of one server — building the same
+        // netlist). Each writer stages to a name unique per process AND
+        // per call: a pid alone is not enough, because two threads share
+        // it and would interleave writes into one tmp file.
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let tmp = self.dir.join(format!(
-            "{}.{}.tmp{}",
+            "{}.{}.tmp{}-{}",
             key.hex(),
             kind.extension(),
-            std::process::id()
+            std::process::id(),
+            seq
         ));
         fs::write(&tmp, bytes)?;
         match fs::rename(&tmp, &path) {
             Ok(()) => Ok(()),
+            // The rename loser is tolerated: if another writer already
+            // published the key, content-addressing guarantees its bytes
+            // encode the same artifact, so this writer's outcome is
+            // equivalent to having won the race.
+            Err(_) if path.exists() => {
+                let _ = fs::remove_file(&tmp);
+                Ok(())
+            }
             Err(e) => {
                 let _ = fs::remove_file(&tmp);
                 Err(e)
@@ -217,6 +233,53 @@ mod tests {
             panic!("stored kernel must load");
         };
         assert_eq!(kback.num_instrs(), kernel.num_instrs());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn racing_writers_under_one_key_leave_one_valid_artifact() {
+        let dir = fresh_dir("race");
+        let store = ArtifactStore::new(&dir);
+        let key = ArtifactKey::derive(&["race"]);
+        let lib = Library::test_library();
+        let netlist = benchmarks::decod(&lib);
+        let model = ModelBuilder::new(&netlist).max_nodes(100).build();
+        let kernel = Kernel::compile(&model);
+
+        // Two builders finish "at the same time" and publish the same
+        // content under the same key, repeatedly. Both must succeed, both
+        // must then read back a valid kernel, and the store must end up
+        // with exactly one artifact file and no tmp leftovers.
+        const ROUNDS: usize = 50;
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        store.store_kernel(key, &kernel).expect("store kernel");
+                        store.store_model(key, &model).expect("store model");
+                        let CacheLookup::Hit(k) = store.load_kernel(key) else {
+                            panic!("concurrently stored kernel must load");
+                        };
+                        assert_eq!(k.num_instrs(), kernel.num_instrs());
+                    }
+                });
+            }
+        });
+
+        let CacheLookup::Hit(back) = store.load_model(key) else {
+            panic!("model must survive the race");
+        };
+        assert_eq!(back.size(), model.size());
+        let files: Vec<String> = fs::read_dir(&dir)
+            .expect("store dir")
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(files.len(), 2, "one .cfm + one .cfk, got {files:?}");
+        assert!(
+            files.iter().all(|f| !f.contains("tmp")),
+            "no tmp leftovers: {files:?}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

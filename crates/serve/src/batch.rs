@@ -1,0 +1,416 @@
+//! Cross-connection micro-batching.
+//!
+//! Evaluation requests from *different* connections are coalesced into
+//! shared 64-lane [`PatternBlock`]s before hitting the kernel. A
+//! coordinator thread collects jobs for up to `batch_window`, groups
+//! them by kernel identity, and hands each group to a fixed worker pool;
+//! the worker packs every group member's transitions into one block,
+//! evaluates it once, and scatters the per-transition values back to
+//! each requester.
+//!
+//! # The bit-identical-batching invariant
+//!
+//! Coalescing must be *unobservable* in results. Two properties make
+//! that hold:
+//!
+//! 1. [`Kernel::eval_batch_into`] computes each lane's value from that
+//!    lane's bits alone — a transition's value does not depend on which
+//!    lanes surround it, so packing requests together (in any order, at
+//!    any offset) yields the same per-transition values as packing each
+//!    request alone.
+//! 2. The per-request summary is reduced with
+//!    [`TraceSummary::from_values`] over [`DEFAULT_CHUNK`]-sized runs —
+//!    the exact association [`TraceEngine`](charfree_engine::TraceEngine)
+//!    uses offline — so floating-point summation order matches the
+//!    single-request path bit for bit.
+//!
+//! Shedding happens at submit time: the job queue is a bounded
+//! `sync_channel` and [`BatchHandle::try_submit`] hands the job back on
+//! a full queue instead of blocking the connection thread.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use charfree_engine::{Kernel, PatternBlock, TraceSummary, DEFAULT_CHUNK};
+
+use crate::stats::ServerStats;
+
+/// Cap on how many jobs one window may coalesce, bounding the memory a
+/// single micro-batch can pin.
+const MAX_BATCH_JOBS: usize = 256;
+
+/// One evaluation request, ready to batch.
+pub struct Job {
+    /// Kernel to evaluate on (an `Arc` clone pins it across evictions).
+    pub kernel: Arc<Kernel>,
+    /// The pattern window; `len - 1` transitions are evaluated.
+    pub patterns: Vec<Vec<bool>>,
+    /// `true` for `trace` (per-transition values shipped back), `false`
+    /// for `eval` (summary only).
+    pub want_values: bool,
+    /// Absolute deadline; expired jobs are shed at execution time.
+    pub deadline: Option<Instant>,
+    /// Where the result goes (capacity-1 channel owned by the
+    /// connection thread).
+    pub reply: SyncSender<Result<JobOutput, JobError>>,
+}
+
+/// A completed job.
+pub struct JobOutput {
+    /// Chunk-reduced summary, bit-identical to the offline path.
+    pub summary: TraceSummary,
+    /// Per-transition values when the job asked for them.
+    pub values: Option<Vec<f64>>,
+}
+
+/// Why a job was not evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// The deadline expired before a worker reached the job.
+    DeadlineExceeded,
+}
+
+struct MicroBatch {
+    kernel: Arc<Kernel>,
+    jobs: Vec<Job>,
+}
+
+/// Cloneable submission side of the dispatcher, held by connection
+/// threads. All handles must drop before
+/// [`Dispatcher::shutdown`] can finish draining.
+#[derive(Clone)]
+pub struct BatchHandle {
+    tx: SyncSender<Job>,
+}
+
+impl BatchHandle {
+    /// Enqueues a job without blocking. On a full (or closed) queue the
+    /// job is handed back so the caller can shed it with a typed
+    /// `overloaded` response.
+    pub fn try_submit(&self, job: Job) -> Result<(), Job> {
+        self.tx.try_send(job).map_err(|e| match e {
+            TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
+        })
+    }
+}
+
+/// The micro-batching dispatcher: one coordinator thread + a fixed
+/// worker pool.
+pub struct Dispatcher {
+    tx: Option<SyncSender<Job>>,
+    coordinator: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Dispatcher {
+    /// Starts the dispatcher: jobs submitted through [`BatchHandle`]s
+    /// are collected for up to `window` (zero disables coalescing
+    /// delay), grouped by kernel, and executed on `workers` threads.
+    /// The submit queue holds at most `queue_cap` jobs; beyond that,
+    /// [`BatchHandle::try_submit`] sheds.
+    pub fn start(
+        workers: usize,
+        window: Duration,
+        queue_cap: usize,
+        stats: Arc<ServerStats>,
+    ) -> Dispatcher {
+        let workers = workers.max(1);
+        let (tx, rx) = sync_channel::<Job>(queue_cap.max(1));
+        let (batch_tx, batch_rx) = sync_channel::<MicroBatch>(workers * 2);
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+
+        let coordinator = thread::Builder::new()
+            .name("charfree-batch-coord".to_owned())
+            .spawn(move || coordinate(rx, batch_tx, window))
+            .expect("spawn coordinator thread");
+
+        let pool = (0..workers)
+            .map(|i| {
+                let batch_rx = Arc::clone(&batch_rx);
+                let stats = Arc::clone(&stats);
+                thread::Builder::new()
+                    .name(format!("charfree-batch-worker-{i}"))
+                    .spawn(move || work(&batch_rx, &stats))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        Dispatcher {
+            tx: Some(tx),
+            coordinator: Some(coordinator),
+            workers: pool,
+        }
+    }
+
+    /// A new submission handle for a connection thread.
+    pub fn handle(&self) -> BatchHandle {
+        BatchHandle {
+            tx: self
+                .tx
+                .as_ref()
+                .expect("dispatcher already shut down")
+                .clone(),
+        }
+    }
+
+    /// Graceful drain: closes the submit queue, lets the coordinator
+    /// flush every job already accepted, and joins all threads. Every
+    /// [`BatchHandle`] must already be dropped, otherwise the queue
+    /// stays open and this blocks.
+    pub fn shutdown(mut self) {
+        self.tx.take();
+        if let Some(coordinator) = self.coordinator.take() {
+            let _ = coordinator.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn coordinate(rx: Receiver<Job>, batch_tx: SyncSender<MicroBatch>, window: Duration) {
+    loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return, // every handle dropped and the queue is empty
+        };
+        let mut jobs = vec![first];
+        if !window.is_zero() {
+            let wake = Instant::now() + window;
+            while jobs.len() < MAX_BATCH_JOBS {
+                let now = Instant::now();
+                if now >= wake {
+                    break;
+                }
+                match rx.recv_timeout(wake - now) {
+                    Ok(job) => jobs.push(job),
+                    // On disconnect the flush below still runs; the next
+                    // outer recv() observes the closed queue and returns.
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        // Group by kernel identity, preserving first-seen order so the
+        // flush is deterministic.
+        let mut order: Vec<*const Kernel> = Vec::new();
+        let mut groups: HashMap<*const Kernel, MicroBatch> = HashMap::new();
+        for job in jobs {
+            let key = Arc::as_ptr(&job.kernel);
+            let entry = groups.entry(key).or_insert_with(|| {
+                order.push(key);
+                MicroBatch {
+                    kernel: Arc::clone(&job.kernel),
+                    jobs: Vec::new(),
+                }
+            });
+            entry.jobs.push(job);
+        }
+        for key in order {
+            if let Some(batch) = groups.remove(&key) {
+                if batch_tx.send(batch).is_err() {
+                    return; // workers are gone; nothing left to flush to
+                }
+            }
+        }
+    }
+}
+
+fn work(batch_rx: &Mutex<Receiver<MicroBatch>>, stats: &ServerStats) {
+    loop {
+        // Hold the lock only for the receive so idle workers queue up
+        // behind it rather than serializing evaluation.
+        let batch = {
+            let rx = batch_rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        let MicroBatch { kernel, jobs } = match batch {
+            Ok(batch) => batch,
+            Err(_) => return, // coordinator exited
+        };
+        execute(&kernel, jobs, stats);
+    }
+}
+
+fn execute(kernel: &Kernel, jobs: Vec<Job>, stats: &ServerStats) {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        match job.deadline {
+            Some(deadline) if deadline <= now => {
+                let _ = job.reply.send(Err(JobError::DeadlineExceeded));
+            }
+            _ => live.push(job),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let mut block = PatternBlock::new(kernel.num_vars() as usize);
+    let mut spans = Vec::with_capacity(live.len());
+    for job in &live {
+        let offset = block.len();
+        block.extend_from_patterns(kernel, &job.patterns);
+        spans.push((offset, block.len() - offset));
+    }
+
+    let mut values = vec![0.0f64; block.len()];
+    if !block.is_empty() {
+        kernel.eval_batch_into(&block, &mut values);
+        let groups = block.len().div_ceil(64);
+        stats.record_batch(live.len(), block.len() / groups);
+    } else {
+        stats.record_batch(live.len(), 1);
+    }
+
+    for (job, (offset, len)) in live.into_iter().zip(spans) {
+        let slice = &values[offset..offset + len];
+        // DEFAULT_CHUNK association == the offline TraceEngine reduction,
+        // which is what keeps batched summaries bit-identical.
+        let summary = TraceSummary::from_values(slice, DEFAULT_CHUNK);
+        let output = JobOutput {
+            summary,
+            values: job.want_values.then(|| slice.to_vec()),
+        };
+        let _ = job.reply.send(Ok(output));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charfree_core::ModelBuilder;
+    use charfree_engine::TraceEngine;
+    use charfree_netlist::{benchmarks, Library, Netlist};
+    use charfree_sim::MarkovSource;
+
+    fn kernel_for(bench: fn(&Library) -> Netlist) -> Arc<Kernel> {
+        let library = Library::test_library();
+        let model = ModelBuilder::new(&bench(&library)).build();
+        Arc::new(Kernel::compile(&model))
+    }
+
+    fn patterns_for(kernel: &Kernel, vectors: usize, seed: u64) -> Vec<Vec<bool>> {
+        MarkovSource::new(kernel.num_inputs(), 0.5, 0.4, seed)
+            .expect("feasible source")
+            .sequence(vectors)
+    }
+
+    #[test]
+    fn coalesced_jobs_match_offline_evaluation_bit_for_bit() {
+        let decod = kernel_for(benchmarks::decod);
+        let cm85 = kernel_for(benchmarks::cm85);
+        let stats = Arc::new(ServerStats::new());
+        let dispatcher = Dispatcher::start(2, Duration::from_millis(40), 64, Arc::clone(&stats));
+        let handle = dispatcher.handle();
+
+        // Mixed workload: three requests on one kernel (lengths chosen to
+        // land mid-64-lane-group) plus one on another, submitted together
+        // so the window coalesces them.
+        let cases: Vec<(Arc<Kernel>, usize, u64, bool)> = vec![
+            (Arc::clone(&decod), 130, 1, false),
+            (Arc::clone(&decod), 7, 2, true),
+            (Arc::clone(&decod), 4099, 3, false),
+            (Arc::clone(&cm85), 65, 4, true),
+        ];
+        let mut replies = Vec::new();
+        for (kernel, vectors, seed, want_values) in &cases {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            let job = Job {
+                kernel: Arc::clone(kernel),
+                patterns: patterns_for(kernel, *vectors, *seed),
+                want_values: *want_values,
+                deadline: None,
+                reply: reply_tx,
+            };
+            assert!(handle.try_submit(job).is_ok());
+            replies.push(reply_rx);
+        }
+        for ((kernel, vectors, seed, want_values), reply) in cases.iter().zip(replies) {
+            let got = reply
+                .recv()
+                .expect("worker replies")
+                .expect("job evaluates");
+            let patterns = patterns_for(kernel, *vectors, *seed);
+            let offline = TraceEngine::new(kernel).jobs(2).evaluate(&patterns);
+            assert_eq!(got.summary.transitions, offline.transitions);
+            assert_eq!(got.summary.sum_ff.to_bits(), offline.sum_ff.to_bits());
+            assert_eq!(got.summary.max_ff.to_bits(), offline.max_ff.to_bits());
+            match (want_values, got.values) {
+                (true, Some(values)) => {
+                    let offline_values = TraceEngine::new(kernel).jobs(2).trace(&patterns);
+                    assert_eq!(values.len(), offline_values.len());
+                    for (a, b) in values.iter().zip(&offline_values) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                (false, None) => {}
+                (want, got) => panic!("want_values={want} but got values={}", got.is_some()),
+            }
+        }
+        drop(handle);
+        dispatcher.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_with_a_typed_error() {
+        let decod = kernel_for(benchmarks::decod);
+        let stats = Arc::new(ServerStats::new());
+        let dispatcher = Dispatcher::start(1, Duration::from_millis(5), 8, Arc::clone(&stats));
+        let handle = dispatcher.handle();
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job {
+            kernel: Arc::clone(&decod),
+            patterns: patterns_for(&decod, 100, 9),
+            want_values: false,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            reply: reply_tx,
+        };
+        assert!(handle.try_submit(job).is_ok());
+        match reply_rx.recv().expect("reply arrives") {
+            Err(JobError::DeadlineExceeded) => {}
+            Ok(_) => panic!("expired job must not evaluate"),
+        }
+        drop(handle);
+        dispatcher.shutdown();
+    }
+
+    #[test]
+    fn full_queue_hands_the_job_back() {
+        let decod = kernel_for(benchmarks::decod);
+        let stats = Arc::new(ServerStats::new());
+        // Stall the single worker behind a long window so the queue
+        // backs up deterministically.
+        let dispatcher = Dispatcher::start(1, Duration::from_secs(5), 1, stats);
+        let handle = dispatcher.handle();
+        let mut shed = 0;
+        let mut kept_replies = Vec::new();
+        for seed in 0..8 {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            let job = Job {
+                kernel: Arc::clone(&decod),
+                patterns: patterns_for(&decod, 10, seed),
+                want_values: false,
+                deadline: None,
+                reply: reply_tx,
+            };
+            match handle.try_submit(job) {
+                Ok(()) => kept_replies.push(reply_rx),
+                Err(_returned_job) => shed += 1,
+            }
+        }
+        assert!(shed > 0, "a 1-deep queue must shed an 8-burst");
+        // Accepted jobs still complete once the window elapses.
+        for reply in kept_replies {
+            assert!(reply
+                .recv_timeout(Duration::from_secs(30))
+                .expect("accepted job completes")
+                .is_ok());
+        }
+        drop(handle);
+        dispatcher.shutdown();
+    }
+}

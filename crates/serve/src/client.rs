@@ -1,0 +1,57 @@
+//! Blocking client for the wire protocol.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::proto::{Request, Response};
+
+/// How long a client waits for one response line before giving up (a
+/// cold build of a large benchmark is the slow path this must cover).
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// A blocking connection to a `charfree serve` instance; requests are
+/// answered in order on one socket.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configuration failures.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, timeouts, and malformed response lines (reported as
+    /// `InvalidData`).
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        writeln!(self.writer, "{}", request.to_line())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::parse_line(line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}

@@ -1,0 +1,38 @@
+//! charfree-serve: a multi-threaded power-estimation server.
+//!
+//! Exposes the whole characterization-free pipeline — netlist → ADD
+//! power model → compiled kernel → batched trace evaluation — over a
+//! newline-delimited JSON TCP protocol, std-only (no async runtime).
+//!
+//! What makes it more than a socket wrapper:
+//!
+//! * **Warm model registry** ([`ModelRegistry`]): compiled kernels are
+//!   shared across connections under a byte-budget LRU, and cold loads
+//!   go through the content-addressed artifact store, so a warm `load`
+//!   performs zero ADD apply steps.
+//! * **Cross-connection micro-batching** ([`batch`]): concurrent eval
+//!   requests are coalesced into shared 64-lane pattern blocks under a
+//!   configurable window — with results bit-identical to evaluating
+//!   each request alone (see the module docs for why that holds).
+//! * **Admission control and graceful drain** ([`server`]): bounded
+//!   queues everywhere, typed `overloaded` shedding with
+//!   `retry_after_ms`, and a `shutdown` command that stops accepting,
+//!   flushes every accepted request and lets the process exit 0.
+
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+
+pub mod batch;
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use batch::{BatchHandle, Dispatcher, Job, JobError, JobOutput};
+pub use client::Client;
+pub use proto::{ErrorKind, Request, Response, WireBuildOptions, WireEvalParams};
+pub use registry::ModelRegistry;
+pub use server::{ServeConfig, Server};
+pub use stats::ServerStats;

@@ -1,0 +1,671 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, in order. Floating-point
+//! payloads that must survive the wire *bit-exactly* — capacitance sums,
+//! maxima, per-transition trace values — travel as 16-hex-digit IEEE-754
+//! bit patterns, never as decimal JSON numbers: the parity guarantee
+//! (`charfree client eval` output is byte-identical to offline
+//! `charfree eval`) rules out any decimal round trip. Request statistics
+//! (`sp`, `st`) travel as ordinary JSON numbers because Rust's shortest
+//! `f64` display is itself round-trip-exact.
+//!
+//! ```text
+//! -> {"cmd":"eval","source":"decod","vectors":500,"sp":0.5,"st":0.3,"seed":1}
+//! <- {"ok":true,"kind":"eval","name":"decod","transitions":499,
+//!     "sum_ff":"40f86a2e38e38e39","max_ff":"4062c00000000000"}
+//! ```
+//!
+//! Error responses are typed: `{"ok":false,"kind":"overloaded",
+//! "error":"...","retry_after_ms":25}`. Clients branch on `kind`, not on
+//! message text.
+
+use crate::json::{parse, Json};
+
+/// Build knobs a `load`/`build` request may carry (a wire-safe subset of
+/// the pipeline's `BuildOptions`; timing-dependent knobs are expressed as
+/// a per-request deadline).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireBuildOptions {
+    /// The paper's `MAX` node ceiling.
+    pub max_nodes: Option<usize>,
+    /// Build the conservative upper-bound model.
+    pub upper_bound: bool,
+    /// Resource-governor live-node ceiling.
+    pub node_budget: Option<u64>,
+    /// Strict mode: budget trips fail the build instead of degrading it.
+    pub strict: bool,
+    /// Per-request deadline, mapped onto the build `Budget`'s wall-clock
+    /// resource (and checked before dispatch for evaluation requests).
+    pub deadline_ms: Option<u64>,
+}
+
+impl WireBuildOptions {
+    fn to_json_fields(&self, fields: &mut Vec<(String, Json)>) {
+        if let Some(max) = self.max_nodes {
+            fields.push(("max_nodes".to_owned(), Json::num(max)));
+        }
+        if self.upper_bound {
+            fields.push(("upper_bound".to_owned(), Json::Bool(true)));
+        }
+        if let Some(nodes) = self.node_budget {
+            fields.push(("node_budget".to_owned(), Json::num(nodes)));
+        }
+        if self.strict {
+            fields.push(("strict".to_owned(), Json::Bool(true)));
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".to_owned(), Json::num(ms)));
+        }
+    }
+
+    fn from_json(obj: &Json) -> Result<WireBuildOptions, String> {
+        Ok(WireBuildOptions {
+            max_nodes: opt_u64(obj, "max_nodes")?.map(|n| n as usize),
+            upper_bound: obj
+                .get("upper_bound")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            node_budget: opt_u64(obj, "node_budget")?,
+            strict: obj.get("strict").and_then(Json::as_bool).unwrap_or(false),
+            deadline_ms: opt_u64(obj, "deadline_ms")?,
+        })
+    }
+}
+
+/// The evaluation parameters shared by `eval` and `trace` requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEvalParams {
+    /// Markov-source sequence length (at least 2 patterns are generated).
+    pub vectors: usize,
+    /// Signal probability.
+    pub sp: f64,
+    /// Transition probability.
+    pub st: f64,
+    /// Markov-source seed.
+    pub seed: u64,
+    /// Per-request deadline in milliseconds (checked at dispatch; an
+    /// expired request is shed with a typed `deadline` error).
+    pub deadline_ms: Option<u64>,
+}
+
+impl WireEvalParams {
+    fn to_json_fields(&self, fields: &mut Vec<(String, Json)>) {
+        fields.push(("vectors".to_owned(), Json::num(self.vectors)));
+        fields.push(("sp".to_owned(), Json::num(self.sp)));
+        fields.push(("st".to_owned(), Json::num(self.st)));
+        fields.push(("seed".to_owned(), Json::num(self.seed)));
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".to_owned(), Json::num(ms)));
+        }
+    }
+
+    fn from_json(obj: &Json) -> Result<WireEvalParams, String> {
+        Ok(WireEvalParams {
+            vectors: req_u64(obj, "vectors")? as usize,
+            sp: req_f64(obj, "sp")?,
+            st: req_f64(obj, "st")?,
+            seed: req_u64(obj, "seed")?,
+            deadline_ms: opt_u64(obj, "deadline_ms")?,
+        })
+    }
+}
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Ensure a model is resident in the registry (warm no-op when it
+    /// already is; builds through the pipeline + artifact store when not).
+    Load {
+        /// Netlist / benchmark / artifact operand, resolved server-side.
+        source: String,
+        /// Build options (part of the registry key).
+        options: WireBuildOptions,
+    },
+    /// Batched trace evaluation to a summary.
+    Eval {
+        /// Model operand (auto-loaded on registry miss).
+        source: String,
+        /// Pattern-stream parameters.
+        params: WireEvalParams,
+    },
+    /// Batched per-transition trace.
+    Trace {
+        /// Model operand (auto-loaded on registry miss).
+        source: String,
+        /// Pattern-stream parameters.
+        params: WireEvalParams,
+    },
+    /// Analytic expected switched capacitance at `(sp, st)`.
+    Expected {
+        /// Model operand.
+        source: String,
+        /// Signal probability.
+        sp: f64,
+        /// Transition probability.
+        st: f64,
+    },
+    /// Server counters and latency/batch-fill histograms.
+    Stats,
+    /// Graceful drain: stop accepting, flush in-flight work, exit 0.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire command name.
+    pub fn cmd(&self) -> &'static str {
+        match self {
+            Request::Load { .. } => "load",
+            Request::Eval { .. } => "eval",
+            Request::Trace { .. } => "trace",
+            Request::Expected { .. } => "expected",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Serializes the request as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut fields = vec![("cmd".to_owned(), Json::Str(self.cmd().to_owned()))];
+        match self {
+            Request::Load { source, options } => {
+                fields.push(("source".to_owned(), Json::Str(source.clone())));
+                options.to_json_fields(&mut fields);
+            }
+            Request::Eval { source, params } | Request::Trace { source, params } => {
+                fields.push(("source".to_owned(), Json::Str(source.clone())));
+                params.to_json_fields(&mut fields);
+            }
+            Request::Expected { source, sp, st } => {
+                fields.push(("source".to_owned(), Json::Str(source.clone())));
+                fields.push(("sp".to_owned(), Json::num(sp)));
+                fields.push(("st".to_owned(), Json::num(st)));
+            }
+            Request::Stats | Request::Shutdown => {}
+        }
+        Json::Obj(fields).to_line()
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic suitable for a `bad-request` response.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let obj = parse(line)?;
+        let cmd = obj
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("missing `cmd` field")?;
+        match cmd {
+            "load" | "build" => Ok(Request::Load {
+                source: req_str(&obj, "source")?,
+                options: WireBuildOptions::from_json(&obj)?,
+            }),
+            "eval" => Ok(Request::Eval {
+                source: req_str(&obj, "source")?,
+                params: WireEvalParams::from_json(&obj)?,
+            }),
+            "trace" => Ok(Request::Trace {
+                source: req_str(&obj, "source")?,
+                params: WireEvalParams::from_json(&obj)?,
+            }),
+            "expected" => Ok(Request::Expected {
+                source: req_str(&obj, "source")?,
+                sp: req_f64(&obj, "sp")?,
+                st: req_f64(&obj, "st")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+/// Typed failure classes a server can return. Clients branch on these,
+/// not on message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request was shed by admission control (`--max-inflight`
+    /// exceeded or dispatch queue full); retry after `retry_after_ms`.
+    Overloaded,
+    /// The request line failed to parse or validate.
+    BadRequest,
+    /// Model construction failed (strict-mode trip, invalid netlist).
+    BuildFailed,
+    /// The per-request deadline expired before evaluation started.
+    DeadlineExceeded,
+    /// The operation is not defined for the input kind.
+    Unsupported,
+    /// The server is draining and no longer accepts work.
+    Draining,
+    /// Anything else (I/O on the server side, poisoned state).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable kebab-case wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::BuildFailed => "build-failed",
+            ErrorKind::DeadlineExceeded => "deadline-exceeded",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Draining => "draining",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn from_name(name: &str) -> ErrorKind {
+        match name {
+            "overloaded" => ErrorKind::Overloaded,
+            "bad-request" => ErrorKind::BadRequest,
+            "build-failed" => ErrorKind::BuildFailed,
+            "deadline-exceeded" => ErrorKind::DeadlineExceeded,
+            "unsupported" => ErrorKind::Unsupported,
+            "draining" => ErrorKind::Draining,
+            _ => ErrorKind::Internal,
+        }
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `load`/`build` outcome.
+    Load {
+        /// Model display name.
+        name: String,
+        /// Kernel instruction count.
+        instrs: usize,
+        /// Distinct terminal values.
+        terminals: usize,
+        /// Kernel footprint in bytes.
+        bytes: usize,
+        /// ADD apply steps this load performed (0 = fully warm: served
+        /// from the registry or the content-addressed store).
+        apply_steps: u64,
+        /// Whether the model was already registry-resident.
+        resident: bool,
+    },
+    /// `eval` outcome (bit-exact summary).
+    Eval {
+        /// Model display name.
+        name: String,
+        /// Transitions evaluated.
+        transitions: usize,
+        /// Sum of per-transition switched capacitance (fF), bit-exact.
+        sum_ff: f64,
+        /// Maximum per-transition switched capacitance (fF), bit-exact.
+        max_ff: f64,
+    },
+    /// `trace` outcome (bit-exact per-transition values).
+    Trace {
+        /// Model display name.
+        name: String,
+        /// Per-transition switched capacitance (fF), bit-exact.
+        values: Vec<f64>,
+    },
+    /// `expected` outcome.
+    Expected {
+        /// Model display name.
+        name: String,
+        /// Expected switched capacitance (fF/cycle), bit-exact.
+        value: f64,
+    },
+    /// `stats` payload (pre-rendered by the stats module).
+    Stats(Json),
+    /// `shutdown` acknowledged; the server drains after this line.
+    Shutdown,
+    /// A typed failure.
+    Error {
+        /// Failure class.
+        kind: ErrorKind,
+        /// Human-readable diagnostic.
+        message: String,
+        /// For `overloaded`: the client should back off this long.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl Response {
+    /// Serializes the response as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        match self {
+            Response::Error {
+                kind,
+                message,
+                retry_after_ms,
+            } => {
+                fields.push(("ok".to_owned(), Json::Bool(false)));
+                fields.push(("kind".to_owned(), Json::Str(kind.name().to_owned())));
+                fields.push(("error".to_owned(), Json::Str(message.clone())));
+                if let Some(ms) = retry_after_ms {
+                    fields.push(("retry_after_ms".to_owned(), Json::num(ms)));
+                }
+            }
+            Response::Load {
+                name,
+                instrs,
+                terminals,
+                bytes,
+                apply_steps,
+                resident,
+            } => {
+                fields.push(("ok".to_owned(), Json::Bool(true)));
+                fields.push(("kind".to_owned(), Json::Str("load".to_owned())));
+                fields.push(("name".to_owned(), Json::Str(name.clone())));
+                fields.push(("instrs".to_owned(), Json::num(instrs)));
+                fields.push(("terminals".to_owned(), Json::num(terminals)));
+                fields.push(("bytes".to_owned(), Json::num(bytes)));
+                fields.push(("apply_steps".to_owned(), Json::num(apply_steps)));
+                fields.push(("resident".to_owned(), Json::Bool(*resident)));
+            }
+            Response::Eval {
+                name,
+                transitions,
+                sum_ff,
+                max_ff,
+            } => {
+                fields.push(("ok".to_owned(), Json::Bool(true)));
+                fields.push(("kind".to_owned(), Json::Str("eval".to_owned())));
+                fields.push(("name".to_owned(), Json::Str(name.clone())));
+                fields.push(("transitions".to_owned(), Json::num(transitions)));
+                fields.push(("sum_ff".to_owned(), Json::Str(f64_to_hex(*sum_ff))));
+                fields.push(("max_ff".to_owned(), Json::Str(f64_to_hex(*max_ff))));
+            }
+            Response::Trace { name, values } => {
+                fields.push(("ok".to_owned(), Json::Bool(true)));
+                fields.push(("kind".to_owned(), Json::Str("trace".to_owned())));
+                fields.push(("name".to_owned(), Json::Str(name.clone())));
+                fields.push((
+                    "values".to_owned(),
+                    Json::Arr(values.iter().map(|&v| Json::Str(f64_to_hex(v))).collect()),
+                ));
+            }
+            Response::Expected { name, value } => {
+                fields.push(("ok".to_owned(), Json::Bool(true)));
+                fields.push(("kind".to_owned(), Json::Str("expected".to_owned())));
+                fields.push(("name".to_owned(), Json::Str(name.clone())));
+                fields.push(("value".to_owned(), Json::Str(f64_to_hex(*value))));
+            }
+            Response::Stats(payload) => {
+                fields.push(("ok".to_owned(), Json::Bool(true)));
+                fields.push(("kind".to_owned(), Json::Str("stats".to_owned())));
+                fields.push(("stats".to_owned(), payload.clone()));
+            }
+            Response::Shutdown => {
+                fields.push(("ok".to_owned(), Json::Bool(true)));
+                fields.push(("kind".to_owned(), Json::Str("shutdown".to_owned())));
+            }
+        }
+        Json::Obj(fields).to_line()
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic when the line is not a valid response.
+    pub fn parse_line(line: &str) -> Result<Response, String> {
+        let obj = parse(line)?;
+        let ok = obj
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or("missing `ok` field")?;
+        if !ok {
+            return Ok(Response::Error {
+                kind: ErrorKind::from_name(
+                    obj.get("kind").and_then(Json::as_str).unwrap_or("internal"),
+                ),
+                message: obj
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_owned(),
+                retry_after_ms: opt_u64(&obj, "retry_after_ms")?,
+            });
+        }
+        match obj.get("kind").and_then(Json::as_str) {
+            Some("load") => Ok(Response::Load {
+                name: req_str(&obj, "name")?,
+                instrs: req_u64(&obj, "instrs")? as usize,
+                terminals: req_u64(&obj, "terminals")? as usize,
+                bytes: req_u64(&obj, "bytes")? as usize,
+                apply_steps: req_u64(&obj, "apply_steps")?,
+                resident: obj
+                    .get("resident")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing `resident`")?,
+            }),
+            Some("eval") => Ok(Response::Eval {
+                name: req_str(&obj, "name")?,
+                transitions: req_u64(&obj, "transitions")? as usize,
+                sum_ff: hex_to_f64(&req_str(&obj, "sum_ff")?)?,
+                max_ff: hex_to_f64(&req_str(&obj, "max_ff")?)?,
+            }),
+            Some("trace") => {
+                let values = obj
+                    .get("values")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing `values`")?
+                    .iter()
+                    .map(|v| hex_to_f64(v.as_str().ok_or("non-string trace value")?))
+                    .collect::<Result<Vec<f64>, String>>()?;
+                Ok(Response::Trace {
+                    name: req_str(&obj, "name")?,
+                    values,
+                })
+            }
+            Some("expected") => Ok(Response::Expected {
+                name: req_str(&obj, "name")?,
+                value: hex_to_f64(&req_str(&obj, "value")?)?,
+            }),
+            Some("stats") => Ok(Response::Stats(
+                obj.get("stats").cloned().unwrap_or(Json::Null),
+            )),
+            Some("shutdown") => Ok(Response::Shutdown),
+            Some(other) => Err(format!("unknown response kind `{other}`")),
+            None => Err("missing `kind` field".to_owned()),
+        }
+    }
+}
+
+/// Renders an `f64` as its 16-hex-digit IEEE-754 bit pattern.
+pub fn f64_to_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Parses a 16-hex-digit IEEE-754 bit pattern back to the identical
+/// `f64`.
+///
+/// # Errors
+///
+/// Rejects non-hex input.
+pub fn hex_to_f64(hex: &str) -> Result<f64, String> {
+    u64::from_str_radix(hex, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad f64 bit pattern `{hex}`"))
+}
+
+fn req_str(obj: &Json, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string `{key}`"))
+}
+
+fn req_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("missing `{key}`"))?
+        .as_u64()
+        .ok_or_else(|| format!("`{key}` must be a non-negative integer"))
+}
+
+fn req_f64(obj: &Json, key: &str) -> Result<f64, String> {
+    let v = obj
+        .get(key)
+        .ok_or_else(|| format!("missing `{key}`"))?
+        .as_f64()
+        .ok_or_else(|| format!("`{key}` must be a number"))?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(format!("`{key}` must be finite"))
+    }
+}
+
+fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Load {
+                source: "decod".to_owned(),
+                options: WireBuildOptions {
+                    max_nodes: Some(300),
+                    upper_bound: true,
+                    node_budget: Some(500),
+                    strict: true,
+                    deadline_ms: Some(750),
+                },
+            },
+            Request::Eval {
+                source: "x.blif".to_owned(),
+                params: WireEvalParams {
+                    vectors: 500,
+                    sp: 0.5,
+                    st: 0.3,
+                    seed: u64::MAX,
+                    deadline_ms: None,
+                },
+            },
+            Request::Trace {
+                source: "decod".to_owned(),
+                params: WireEvalParams {
+                    vectors: 64,
+                    sp: 0.25,
+                    st: 0.75,
+                    seed: 7,
+                    deadline_ms: Some(10),
+                },
+            },
+            Request::Expected {
+                source: "decod".to_owned(),
+                sp: 0.1,
+                st: 0.9,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.to_line();
+            assert!(!line.contains('\n'), "one line: {line}");
+            assert_eq!(Request::parse_line(&line).expect("parses"), req);
+        }
+    }
+
+    #[test]
+    fn build_is_an_alias_for_load() {
+        let req = Request::parse_line(r#"{"cmd":"build","source":"decod","max_nodes":100}"#)
+            .expect("parses");
+        assert!(matches!(req, Request::Load { ref options, .. } if options.max_nodes == Some(100)));
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        let awkward = [
+            0.1 + 0.2,
+            f64::NEG_INFINITY,
+            -0.0,
+            1.0e-308,
+            12345.678901234567,
+        ];
+        for &v in &awkward {
+            assert_eq!(
+                hex_to_f64(&f64_to_hex(v)).expect("round trip").to_bits(),
+                v.to_bits()
+            );
+        }
+        let resps = [
+            Response::Load {
+                name: "decod".to_owned(),
+                instrs: 42,
+                terminals: 7,
+                bytes: 1024,
+                apply_steps: 0,
+                resident: true,
+            },
+            Response::Eval {
+                name: "decod".to_owned(),
+                transitions: 499,
+                sum_ff: 0.1 + 0.2,
+                max_ff: 151.0,
+            },
+            Response::Trace {
+                name: "decod".to_owned(),
+                values: awkward.to_vec(),
+            },
+            Response::Expected {
+                name: "decod".to_owned(),
+                value: -0.0,
+            },
+            Response::Shutdown,
+            Response::Error {
+                kind: ErrorKind::Overloaded,
+                message: "423 in flight".to_owned(),
+                retry_after_ms: Some(25),
+            },
+        ];
+        for resp in resps {
+            let line = resp.to_line();
+            assert!(!line.contains('\n'), "one line: {line}");
+            assert_eq!(Response::parse_line(&line).expect("parses"), resp);
+        }
+    }
+
+    #[test]
+    fn error_kinds_have_stable_wire_names() {
+        for kind in [
+            ErrorKind::Overloaded,
+            ErrorKind::BadRequest,
+            ErrorKind::BuildFailed,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::Unsupported,
+            ErrorKind::Draining,
+            ErrorKind::Internal,
+        ] {
+            assert_eq!(ErrorKind::from_name(kind.name()), kind);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_diagnostics() {
+        for bad in [
+            "",
+            "{}",
+            r#"{"cmd":"frobnicate"}"#,
+            r#"{"cmd":"eval"}"#,
+            r#"{"cmd":"eval","source":"d","vectors":-1,"sp":0.5,"st":0.5,"seed":1}"#,
+            r#"{"cmd":"eval","source":"d","vectors":10,"sp":"x","st":0.5,"seed":1}"#,
+        ] {
+            assert!(
+                Request::parse_line(bad).is_err(),
+                "`{bad}` must be rejected"
+            );
+        }
+    }
+}

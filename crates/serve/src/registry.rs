@@ -1,0 +1,189 @@
+//! Shared warm-model registry.
+//!
+//! Every connection resolves model operands through one process-wide
+//! registry of compiled kernels. Entries are `Arc<Kernel>` so an eviction
+//! never invalidates in-flight work: the dispatcher holds its own clone
+//! for as long as a micro-batch references the model.
+//!
+//! The registry is bounded by a *byte* budget (the sum of
+//! `Kernel::bytes()` over resident entries), not an entry count, because
+//! kernel footprints span four orders of magnitude between a 2-input
+//! gate and a wide interleaved benchmark. When an insert pushes the
+//! total over budget, least-recently-used entries are evicted until it
+//! fits again — except that the entry being inserted is never evicted,
+//! so a single over-budget kernel still serves (the budget is a target,
+//! not a hard cap; refusing the model entirely would turn every request
+//! for it into a rebuild).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use charfree_engine::Kernel;
+
+struct Entry {
+    kernel: Arc<Kernel>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    resident_bytes: usize,
+    clock: u64,
+}
+
+/// A byte-budgeted LRU cache of compiled kernels, shared by every
+/// connection and the micro-batch dispatcher.
+pub struct ModelRegistry {
+    inner: Mutex<Inner>,
+    budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Creates a registry that aims to keep at most `budget_bytes` of
+    /// kernel payload resident.
+    pub fn new(budget_bytes: usize) -> ModelRegistry {
+        ModelRegistry {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                resident_bytes: 0,
+                clock: 0,
+            }),
+            budget: budget_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a kernel by registry key, refreshing its recency.
+    pub fn get(&self, key: &str) -> Option<Arc<Kernel>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.kernel))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a kernel under `key`, then evicts
+    /// least-recently-used peers until the byte budget holds. The entry
+    /// just inserted is exempt from eviction.
+    pub fn insert(&self, key: &str, kernel: Arc<Kernel>) {
+        let bytes = kernel.bytes();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.entries.insert(
+            key.to_owned(),
+            Entry {
+                kernel,
+                bytes,
+                last_used: clock,
+            },
+        ) {
+            inner.resident_bytes -= old.bytes;
+        }
+        inner.resident_bytes += bytes;
+        while inner.resident_bytes > self.budget && inner.entries.len() > 1 {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| k.as_str() != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(victim) => {
+                    if let Some(evicted) = inner.entries.remove(&victim) {
+                        inner.resident_bytes -= evicted.bytes;
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Point-in-time counters: (resident entries, resident bytes, hits,
+    /// misses, evictions).
+    pub fn stats(&self) -> (usize, usize, u64, u64, u64) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (
+            inner.entries.len(),
+            inner.resident_bytes,
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charfree_core::ModelBuilder;
+    use charfree_netlist::{benchmarks, Library, Netlist};
+
+    fn kernel_for(bench: fn(&Library) -> Netlist) -> Arc<Kernel> {
+        let library = Library::test_library();
+        let model = ModelBuilder::new(&bench(&library)).build();
+        Arc::new(Kernel::compile(&model))
+    }
+
+    #[test]
+    fn lru_evicts_by_recency_within_byte_budget() {
+        let a = kernel_for(benchmarks::decod);
+        let b = kernel_for(benchmarks::cm85);
+        let c = kernel_for(benchmarks::mux);
+        // Budget fits roughly two of the three kernels.
+        let budget = a.bytes() + b.bytes() + c.bytes() / 2;
+        let reg = ModelRegistry::new(budget);
+        reg.insert("a", Arc::clone(&a));
+        reg.insert("b", Arc::clone(&b));
+        assert!(reg.get("a").is_some(), "refresh `a` so `b` is the LRU");
+        reg.insert("c", Arc::clone(&c));
+        assert!(reg.get("b").is_none(), "LRU entry was evicted");
+        assert!(reg.get("a").is_some());
+        assert!(reg.get("c").is_some());
+        let (entries, bytes, _, _, evictions) = reg.stats();
+        assert_eq!(entries, 2);
+        assert!(bytes <= budget);
+        assert_eq!(evictions, 1);
+    }
+
+    #[test]
+    fn oversized_entry_survives_alone() {
+        let a = kernel_for(benchmarks::decod);
+        let reg = ModelRegistry::new(1); // budget smaller than any kernel
+        reg.insert("a", Arc::clone(&a));
+        assert!(
+            reg.get("a").is_some(),
+            "an over-budget kernel is kept rather than thrashing rebuilds"
+        );
+        let (entries, _, _, _, _) = reg.stats();
+        assert_eq!(entries, 1);
+    }
+
+    #[test]
+    fn reinsert_under_same_key_replaces_without_leaking_bytes() {
+        let a = kernel_for(benchmarks::decod);
+        let reg = ModelRegistry::new(usize::MAX);
+        reg.insert("a", Arc::clone(&a));
+        reg.insert("a", Arc::clone(&a));
+        let (entries, bytes, _, _, _) = reg.stats();
+        assert_eq!(entries, 1);
+        assert_eq!(bytes, a.bytes());
+    }
+}

@@ -1,0 +1,690 @@
+//! The TCP server: accept loop, per-connection protocol handling,
+//! admission control and graceful drain.
+//!
+//! Threading model: one acceptor thread, one detached thread per
+//! connection, plus the dispatcher's coordinator + worker pool
+//! ([`crate::batch`]). Connections never evaluate kernels themselves —
+//! they parse requests, resolve models through the shared
+//! [`ModelRegistry`], submit jobs to the dispatcher and block on the
+//! per-job reply channel, which is what lets requests from different
+//! sockets share 64-lane pattern blocks.
+//!
+//! Admission control is two-layered: a connection cap at accept time and
+//! a request-level in-flight cap (`max_inflight`) enforced with a single
+//! atomic. Both shed with typed `overloaded` responses carrying
+//! `retry_after_ms`; nothing blocks behind an unbounded queue.
+//!
+//! Drain (`shutdown` request): the draining flag flips, a loopback
+//! connect nudges the blocking acceptor awake, connection threads finish
+//! the request they are on and close at their next read tick, and
+//! [`Server::wait`] joins everything before returning — every accepted
+//! request completes, no new work is admitted.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use charfree_engine::Kernel;
+use charfree_netlist::Library;
+use charfree_pipeline::{ArtifactStore, BuildOptions, PipelineCtx, PipelineError, Source};
+use charfree_sim::MarkovSource;
+
+use crate::batch::{BatchHandle, Dispatcher, Job, JobError};
+use crate::proto::{ErrorKind, Request, Response, WireBuildOptions, WireEvalParams};
+use crate::registry::ModelRegistry;
+use crate::stats::ServerStats;
+
+/// How often a blocked connection read wakes up to check the draining
+/// flag.
+const READ_TICK: Duration = Duration::from_millis(250);
+
+/// Longest tolerated request line (a `trace` request is short; this only
+/// guards against garbage streams growing the buffer without bound).
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Suggested client backoff when a request is shed.
+const RETRY_AFTER_MS: u64 = 25;
+
+/// Server construction parameters (the `charfree serve` flags).
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Evaluation worker threads (must be at least 1; the CLI rejects 0
+    /// at parse time).
+    pub jobs: usize,
+    /// Micro-batch coalescing window (zero dispatches immediately).
+    pub batch_window: Duration,
+    /// Request-level admission cap.
+    pub max_inflight: usize,
+    /// Registry byte budget for resident kernels.
+    pub model_bytes_budget: usize,
+    /// Cell library models are built against.
+    pub library: Library,
+    /// Content-addressed artifact store directory (warm loads skip the
+    /// symbolic build entirely).
+    pub cache_dir: Option<PathBuf>,
+    /// Per-connection inactivity cutoff.
+    pub idle_timeout: Duration,
+    /// Concurrent-connection cap (excess connections get one
+    /// `overloaded` line and are closed).
+    pub max_connections: usize,
+    /// Structured per-request logging to stderr.
+    pub log: bool,
+}
+
+impl ServeConfig {
+    /// Defaults matching the `charfree serve` flag defaults.
+    pub fn new(library: Library) -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            jobs: 1,
+            batch_window: Duration::from_micros(200),
+            max_inflight: 64,
+            model_bytes_budget: 64 << 20,
+            library,
+            cache_dir: None,
+            idle_timeout: Duration::from_secs(30),
+            max_connections: 64,
+            log: true,
+        }
+    }
+}
+
+struct Shared {
+    library: Library,
+    store: Option<ArtifactStore>,
+    registry: ModelRegistry,
+    stats: Arc<ServerStats>,
+    inflight: AtomicUsize,
+    max_inflight: usize,
+    draining: AtomicBool,
+    conns: Mutex<usize>,
+    conns_cv: Condvar,
+    conn_seq: AtomicU64,
+    build_lock: Mutex<()>,
+    idle_timeout: Duration,
+    log: bool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn log_line(&self, conn: u64, msg: &str) {
+        if self.log {
+            eprintln!("charfree-serve: conn={conn} {msg}");
+        }
+    }
+}
+
+/// A running server. Dropping it does **not** stop the threads; drive it
+/// to completion with [`Server::wait`] after a `shutdown` request (or
+/// [`Server::request_drain`]).
+pub struct Server {
+    addr: SocketAddr,
+    acceptor: Option<thread::JoinHandle<()>>,
+    dispatcher: Option<Dispatcher>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::new());
+        let shared = Arc::new(Shared {
+            store: config.cache_dir.as_ref().map(ArtifactStore::new),
+            library: config.library,
+            registry: ModelRegistry::new(config.model_bytes_budget.max(1)),
+            stats: Arc::clone(&stats),
+            inflight: AtomicUsize::new(0),
+            max_inflight: config.max_inflight.max(1),
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(0),
+            conns_cv: Condvar::new(),
+            conn_seq: AtomicU64::new(0),
+            build_lock: Mutex::new(()),
+            idle_timeout: config.idle_timeout,
+            log: config.log,
+            addr,
+        });
+        let dispatcher = Dispatcher::start(
+            config.jobs.max(1),
+            config.batch_window,
+            shared.max_inflight,
+            stats,
+        );
+        let handle = dispatcher.handle();
+        let accept_shared = Arc::clone(&shared);
+        let max_connections = config.max_connections.max(1);
+        let acceptor = thread::Builder::new()
+            .name("charfree-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_shared, &handle, max_connections))?;
+        if shared.log {
+            eprintln!("charfree-serve: listening on {addr}");
+        }
+        Ok(Server {
+            addr,
+            acceptor: Some(acceptor),
+            dispatcher: Some(dispatcher),
+            shared,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flips the draining flag and wakes the acceptor, as if a
+    /// `shutdown` request had arrived.
+    pub fn request_drain(&self) {
+        begin_drain(&self.shared);
+    }
+
+    /// Blocks until the server has fully drained: acceptor joined, every
+    /// connection closed, every accepted job flushed through the
+    /// dispatcher.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let mut conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+        while *conns > 0 {
+            conns = self
+                .shared
+                .conns_cv
+                .wait(conns)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(conns);
+        if let Some(dispatcher) = self.dispatcher.take() {
+            dispatcher.shutdown();
+        }
+        if self.shared.log {
+            eprintln!("charfree-serve: drained, exiting");
+        }
+    }
+}
+
+fn begin_drain(shared: &Shared) {
+    if !shared.draining.swap(true, Ordering::SeqCst) {
+        // Nudge the blocking accept() awake; the loop re-checks the flag
+        // before handling what it accepted.
+        let _ = TcpStream::connect(shared.addr);
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handle: &BatchHandle,
+    max_connections: usize,
+) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        {
+            let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            if *conns >= max_connections {
+                drop(conns);
+                shared.stats.record_shed();
+                let line = Response::Error {
+                    kind: ErrorKind::Overloaded,
+                    message: format!("connection limit ({max_connections}) reached"),
+                    retry_after_ms: Some(RETRY_AFTER_MS),
+                }
+                .to_line();
+                let mut stream = stream;
+                let _ = writeln!(stream, "{line}");
+                continue;
+            }
+            *conns += 1;
+        }
+        let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(shared);
+        let conn_handle = handle.clone();
+        let spawned = thread::Builder::new()
+            .name(format!("charfree-serve-conn-{conn_id}"))
+            .spawn(move || {
+                handle_connection(stream, conn_id, &conn_shared, conn_handle);
+                let mut conns = conn_shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+                *conns -= 1;
+                conn_shared.conns_cv.notify_all();
+            });
+        if spawned.is_err() {
+            let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            *conns -= 1;
+            shared.conns_cv.notify_all();
+        }
+    }
+}
+
+/// Reads newline-delimited lines off a raw stream with a short read
+/// timeout, so the connection notices drain and idle cutoff without an
+/// extra thread. A `BufReader::read_line` would lose buffered partial
+/// lines across timeout returns; this keeps its own carry buffer.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+enum ReadOutcome {
+    Line(String),
+    Draining,
+    Closed,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> io::Result<LineReader> {
+        stream.set_read_timeout(Some(READ_TICK))?;
+        Ok(LineReader {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+        })
+    }
+
+    fn next_line(&mut self, shared: &Shared) -> ReadOutcome {
+        let idle_since = Instant::now();
+        loop {
+            if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                let end = self.pos + nl;
+                let mut line = &self.buf[self.pos..end];
+                if line.last() == Some(&b'\r') {
+                    line = &line[..line.len() - 1];
+                }
+                let text = String::from_utf8_lossy(line).into_owned();
+                self.pos = end + 1;
+                if self.pos >= self.buf.len() {
+                    self.buf.clear();
+                    self.pos = 0;
+                }
+                return ReadOutcome::Line(text);
+            }
+            if self.buf.len() - self.pos > MAX_LINE_BYTES {
+                return ReadOutcome::Closed;
+            }
+            if shared.draining.load(Ordering::SeqCst) {
+                return ReadOutcome::Draining;
+            }
+            if idle_since.elapsed() > shared.idle_timeout {
+                return ReadOutcome::Closed;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(n) => {
+                    if self.pos > 0 {
+                        self.buf.drain(..self.pos);
+                        self.pos = 0;
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+    }
+}
+
+/// RAII slot in the request-level admission window.
+struct InflightSlot<'a>(&'a Shared);
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn try_admit(shared: &Shared) -> Option<InflightSlot<'_>> {
+    shared
+        .inflight
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < shared.max_inflight).then_some(n + 1)
+        })
+        .ok()
+        .map(|_| InflightSlot(shared))
+}
+
+fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Shared, handle: BatchHandle) {
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = io::BufWriter::new(write_stream);
+    let mut reader = match LineReader::new(stream) {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    shared.log_line(conn_id, "open");
+    loop {
+        let line = match reader.next_line(shared) {
+            ReadOutcome::Line(line) => line,
+            ReadOutcome::Draining => {
+                shared.log_line(conn_id, "close reason=draining");
+                return;
+            }
+            ReadOutcome::Closed => {
+                shared.log_line(conn_id, "close reason=eof");
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let (response, shutdown) = process_line(&line, shared, &handle);
+        let latency_us = started.elapsed().as_micros() as u64;
+        let (status, is_error) = match &response {
+            Response::Error { kind, .. } => (kind.name(), true),
+            _ => ("ok", false),
+        };
+        if is_error {
+            shared.stats.record_error();
+        } else {
+            shared.stats.record_completed(latency_us);
+        }
+        shared.log_line(
+            conn_id,
+            &format!(
+                "cmd={} status={status} latency_us={latency_us}",
+                cmd_of(&line)
+            ),
+        );
+        if writeln!(writer, "{}", response.to_line()).is_err() || writer.flush().is_err() {
+            shared.log_line(conn_id, "close reason=write-error");
+            return;
+        }
+        if shutdown {
+            begin_drain(shared);
+            shared.log_line(conn_id, "close reason=shutdown");
+            return;
+        }
+    }
+}
+
+/// Best-effort command label for the log line (the request may not even
+/// parse).
+fn cmd_of(line: &str) -> String {
+    Request::parse_line(line)
+        .map(|r| r.cmd().to_owned())
+        .unwrap_or_else(|_| "?".to_owned())
+}
+
+fn process_line(line: &str, shared: &Shared, handle: &BatchHandle) -> (Response, bool) {
+    let request = match Request::parse_line(line) {
+        Ok(request) => request,
+        Err(message) => {
+            return (
+                Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message,
+                    retry_after_ms: None,
+                },
+                false,
+            )
+        }
+    };
+    shared.stats.record_accepted(request.cmd());
+    if shared.draining.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
+        return (
+            Response::Error {
+                kind: ErrorKind::Draining,
+                message: "server is draining".to_owned(),
+                retry_after_ms: None,
+            },
+            false,
+        );
+    }
+    // stats/shutdown are control-plane: they bypass the admission window
+    // so an overloaded server can still be observed and drained.
+    match request {
+        Request::Stats => {
+            return (
+                Response::Stats(shared.stats.snapshot(&shared.registry)),
+                false,
+            )
+        }
+        Request::Shutdown => return (Response::Shutdown, true),
+        _ => {}
+    }
+    let _slot = match try_admit(shared) {
+        Some(slot) => slot,
+        None => {
+            shared.stats.record_shed();
+            return (
+                Response::Error {
+                    kind: ErrorKind::Overloaded,
+                    message: format!("{} requests in flight", shared.max_inflight),
+                    retry_after_ms: Some(RETRY_AFTER_MS),
+                },
+                false,
+            );
+        }
+    };
+    let response = match request {
+        Request::Load { source, options } => do_load(shared, &source, &options),
+        Request::Eval { source, params } => do_eval(shared, handle, &source, &params, false),
+        Request::Trace { source, params } => do_eval(shared, handle, &source, &params, true),
+        Request::Expected { source, sp, st } => do_expected(shared, &source, sp, st),
+        Request::Stats | Request::Shutdown => unreachable!("handled above"),
+    };
+    (response, false)
+}
+
+fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
+    Response::Error {
+        kind,
+        message: message.into(),
+        retry_after_ms: None,
+    }
+}
+
+fn map_pipeline_error(err: &PipelineError) -> ErrorKind {
+    match err {
+        PipelineError::Build(_) => ErrorKind::BuildFailed,
+        PipelineError::Unsupported(_) => ErrorKind::Unsupported,
+        PipelineError::Io { .. } | PipelineError::Parse { .. } | PipelineError::UnknownInput(_) => {
+            ErrorKind::BadRequest
+        }
+    }
+}
+
+fn registry_key(source: &str, options: &WireBuildOptions) -> String {
+    format!(
+        "{source}\0max_nodes={:?}\0upper_bound={}\0node_budget={:?}\0strict={}\0deadline={:?}",
+        options.max_nodes,
+        options.upper_bound,
+        options.node_budget,
+        options.strict,
+        options.deadline_ms
+    )
+}
+
+fn build_options(options: &WireBuildOptions) -> BuildOptions {
+    BuildOptions {
+        max_nodes: options.max_nodes,
+        upper_bound: options.upper_bound,
+        node_budget: options.node_budget,
+        strict: options.strict,
+        time_budget: options.deadline_ms.map(Duration::from_millis),
+        ..BuildOptions::default()
+    }
+}
+
+/// Resolves a model operand to a registry-resident kernel. Returns the
+/// kernel, the ADD apply steps this call performed (0 for warm paths)
+/// and whether it was already resident.
+fn resolve(
+    shared: &Shared,
+    source: &str,
+    options: &WireBuildOptions,
+) -> Result<(Arc<Kernel>, u64, bool), Response> {
+    let key = registry_key(source, options);
+    if let Some(kernel) = shared.registry.get(&key) {
+        return Ok((kernel, 0, true));
+    }
+    // Serialize builds: concurrent requests for the same cold model
+    // would otherwise burn a full symbolic construction each.
+    let _build = shared.build_lock.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(kernel) = shared.registry.get(&key) {
+        return Ok((kernel, 0, true));
+    }
+    let mut ctx = PipelineCtx::new(shared.library.clone()).with_options(build_options(options));
+    if let Some(store) = &shared.store {
+        ctx = ctx.with_store(store.clone());
+    }
+    let kernel = ctx
+        .kernel_for(&Source::infer(source))
+        .map_err(|e| error(map_pipeline_error(&e), e.to_string()))?;
+    let applied = ctx.apply_steps();
+    let kernel = Arc::new(kernel);
+    shared.registry.insert(&key, Arc::clone(&kernel));
+    Ok((kernel, applied, false))
+}
+
+fn do_load(shared: &Shared, source: &str, options: &WireBuildOptions) -> Response {
+    match resolve(shared, source, options) {
+        Ok((kernel, applied, resident)) => Response::Load {
+            name: kernel.name().to_owned(),
+            instrs: kernel.num_instrs(),
+            terminals: kernel.num_terminals(),
+            bytes: kernel.bytes(),
+            apply_steps: applied,
+            resident,
+        },
+        Err(response) => response,
+    }
+}
+
+fn do_eval(
+    shared: &Shared,
+    handle: &BatchHandle,
+    source: &str,
+    params: &WireEvalParams,
+    want_values: bool,
+) -> Response {
+    let deadline = params
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let (kernel, _, _) = match resolve(shared, source, &WireBuildOptions::default()) {
+        Ok(resolved) => resolved,
+        Err(response) => return response,
+    };
+    // Identical pattern generation to the offline CLI: a Markov source
+    // over the kernel's inputs, at least two patterns.
+    let mut markov = match MarkovSource::new(kernel.num_inputs(), params.sp, params.st, params.seed)
+    {
+        Ok(markov) => markov,
+        Err(e) => return error(ErrorKind::BadRequest, e.to_string()),
+    };
+    let patterns = markov.sequence(params.vectors.max(2));
+    if let Some(deadline) = deadline {
+        if deadline <= Instant::now() {
+            return error(
+                ErrorKind::DeadlineExceeded,
+                "deadline expired before dispatch",
+            );
+        }
+    }
+    let (reply_tx, reply_rx) = sync_channel(1);
+    let job = Job {
+        kernel: Arc::clone(&kernel),
+        patterns,
+        want_values,
+        deadline,
+        reply: reply_tx,
+    };
+    if handle.try_submit(job).is_err() {
+        shared.stats.record_shed();
+        return Response::Error {
+            kind: ErrorKind::Overloaded,
+            message: "dispatch queue full".to_owned(),
+            retry_after_ms: Some(RETRY_AFTER_MS),
+        };
+    }
+    match reply_rx.recv() {
+        Ok(Ok(output)) => {
+            if want_values {
+                Response::Trace {
+                    name: kernel.name().to_owned(),
+                    values: output.values.unwrap_or_default(),
+                }
+            } else {
+                Response::Eval {
+                    name: kernel.name().to_owned(),
+                    transitions: output.summary.transitions,
+                    sum_ff: output.summary.sum_ff,
+                    max_ff: output.summary.max_ff,
+                }
+            }
+        }
+        Ok(Err(JobError::DeadlineExceeded)) => {
+            error(ErrorKind::DeadlineExceeded, "deadline expired in queue")
+        }
+        Err(_) => error(ErrorKind::Internal, "dispatcher dropped the job"),
+    }
+}
+
+fn do_expected(shared: &Shared, source: &str, sp: f64, st: f64) -> Response {
+    // The analytic chain measure asserts feasibility; validate here so a
+    // bad request gets a typed error instead of panicking a connection
+    // thread. (Same stationarity bound as the Markov pattern source.)
+    if !(sp > 0.0 && sp < 1.0) {
+        return error(ErrorKind::BadRequest, format!("sp={sp} must be in (0,1)"));
+    }
+    if !(0.0..=1.0).contains(&st) || st > 2.0 * sp.min(1.0 - sp) {
+        return error(
+            ErrorKind::BadRequest,
+            format!("infeasible (sp={sp}, st={st}): st must be at most 2*min(sp, 1-sp)"),
+        );
+    }
+    let (kernel, _, _) = match resolve(shared, source, &WireBuildOptions::default()) {
+        Ok(resolved) => resolved,
+        Err(response) => return response,
+    };
+    let value = if kernel.is_interleaved() {
+        kernel.expected_capacitance(sp, st)
+    } else if matches!(Source::infer(source), Source::KernelFile(_)) {
+        return error(
+            ErrorKind::Unsupported,
+            "grouped-ordering kernels cannot evaluate expectations; pass the `.cfm` model instead",
+        );
+    } else {
+        // Mirror the CLI fallback: grouped-ordering pair correlation is
+        // not chain-expressible on the kernel, so go through the arena
+        // model (a warm artifact hit when a store is attached).
+        let mut ctx = PipelineCtx::new(shared.library.clone());
+        if let Some(store) = &shared.store {
+            ctx = ctx.with_store(store.clone());
+        }
+        match ctx.model_for(&Source::infer(source)) {
+            Ok(model) => model.expected_capacitance(sp, st).femtofarads(),
+            Err(e) => return error(map_pipeline_error(&e), e.to_string()),
+        }
+    };
+    Response::Expected {
+        name: kernel.name().to_owned(),
+        value,
+    }
+}

@@ -1,0 +1,367 @@
+//! End-to-end server tests over real sockets: bit-identical parity under
+//! cross-connection micro-batching, admission-control shedding, and
+//! graceful drain semantics.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use charfree_engine::TraceEngine;
+use charfree_netlist::Library;
+use charfree_pipeline::{PipelineCtx, Source};
+use charfree_serve::{
+    Client, ErrorKind, Request, Response, ServeConfig, Server, WireBuildOptions, WireEvalParams,
+};
+
+fn test_config() -> ServeConfig {
+    let mut config = ServeConfig::new(Library::test_library());
+    config.addr = "127.0.0.1:0".to_owned();
+    config.log = false;
+    config
+}
+
+fn eval_params(vectors: usize, seed: u64) -> WireEvalParams {
+    WireEvalParams {
+        vectors,
+        sp: 0.5,
+        st: 0.4,
+        seed,
+        deadline_ms: None,
+    }
+}
+
+/// The offline reference: the same pattern generation and evaluation the
+/// `charfree eval`/`trace` subcommands run, with no server involved.
+fn offline(source: &str, params: &WireEvalParams) -> (String, Vec<f64>) {
+    let mut ctx = PipelineCtx::new(Library::test_library());
+    let kernel = ctx.kernel_for(&Source::infer(source)).expect("builds");
+    let patterns =
+        charfree_sim::MarkovSource::new(kernel.num_inputs(), params.sp, params.st, params.seed)
+            .expect("feasible")
+            .sequence(params.vectors.max(2));
+    let values = TraceEngine::new(&kernel).trace(&patterns);
+    (kernel.name().to_owned(), values)
+}
+
+#[test]
+fn multi_connection_mixed_workload_is_bit_identical_to_offline() {
+    let mut config = test_config();
+    config.jobs = 2;
+    config.batch_window = Duration::from_millis(30);
+    let server = Server::start(config).expect("binds");
+    let addr = server.addr().to_string();
+
+    // Mixed replay: eval and trace requests on two models from six
+    // concurrent connections, released together so the 30ms window
+    // actually coalesces them into shared pattern blocks.
+    let cases: Vec<(&str, usize, u64, bool)> = vec![
+        ("decod", 130, 1, false),
+        ("decod", 7, 2, true),
+        ("decod", 4099, 3, false),
+        ("cm85", 65, 4, true),
+        ("cm85", 513, 5, false),
+        ("decod", 1000, 6, true),
+    ];
+    let barrier = Arc::new(Barrier::new(cases.len()));
+    let handles: Vec<_> = cases
+        .iter()
+        .map(|&(source, vectors, seed, want_trace)| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connects");
+                let params = eval_params(vectors, seed);
+                let request = if want_trace {
+                    Request::Trace {
+                        source: source.to_owned(),
+                        params: params.clone(),
+                    }
+                } else {
+                    Request::Eval {
+                        source: source.to_owned(),
+                        params: params.clone(),
+                    }
+                };
+                barrier.wait();
+                let response = client.request(&request).expect("responds");
+                (source, params, want_trace, response)
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (source, params, want_trace, response) = handle.join().expect("client thread");
+        let (name, values) = offline(source, &params);
+        match response {
+            Response::Eval {
+                name: got_name,
+                transitions,
+                sum_ff,
+                max_ff,
+            } => {
+                assert!(!want_trace);
+                let reference = charfree_engine::TraceSummary::from_values(
+                    &values,
+                    charfree_engine::DEFAULT_CHUNK,
+                );
+                assert_eq!(got_name, name);
+                assert_eq!(transitions, reference.transitions);
+                assert_eq!(sum_ff.to_bits(), reference.sum_ff.to_bits(), "{source}");
+                assert_eq!(max_ff.to_bits(), reference.max_ff.to_bits(), "{source}");
+            }
+            Response::Trace {
+                name: got_name,
+                values: got_values,
+            } => {
+                assert!(want_trace);
+                assert_eq!(got_name, name);
+                assert_eq!(got_values.len(), values.len());
+                for (t, (a, b)) in got_values.iter().zip(&values).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{source} transition {t}");
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    // The coalescing must actually have happened: fewer executed batches
+    // than requests (at least two requests shared a window).
+    let mut client = Client::connect(&addr).expect("connects");
+    if let Response::Stats(stats) = client.request(&Request::Stats).expect("stats") {
+        let batches = stats
+            .get("batches")
+            .and_then(|v| v.as_u64())
+            .expect("batches");
+        let batched = stats
+            .get("batched_requests")
+            .and_then(|v| v.as_u64())
+            .expect("batched_requests");
+        assert_eq!(batched, 6, "all six requests went through the dispatcher");
+        assert!(
+            batches < batched,
+            "coalescing never engaged: {batches} batches for {batched} requests"
+        );
+    } else {
+        panic!("stats request failed");
+    }
+
+    assert!(matches!(
+        client.request(&Request::Shutdown).expect("shutdown"),
+        Response::Shutdown
+    ));
+    server.wait();
+}
+
+#[test]
+fn warm_loads_do_zero_apply_steps() {
+    let cache = std::env::temp_dir().join(format!("charfree-serve-test-{}", std::process::id()));
+    let mut config = test_config();
+    config.cache_dir = Some(cache.clone());
+    let server = Server::start(config).expect("binds");
+    let addr = server.addr().to_string();
+
+    let mut client = Client::connect(&addr).expect("connects");
+    let load = Request::Load {
+        source: "decod".to_owned(),
+        options: WireBuildOptions::default(),
+    };
+    let cold = client.request(&load).expect("cold load");
+    let warm = client.request(&load).expect("warm load");
+    match (cold, warm) {
+        (
+            Response::Load {
+                apply_steps: cold_steps,
+                resident: false,
+                ..
+            },
+            Response::Load {
+                apply_steps: 0,
+                resident: true,
+                ..
+            },
+        ) => assert!(cold_steps > 0, "a cold build performs apply steps"),
+        other => panic!("unexpected load responses {other:?}"),
+    }
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.wait();
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn overload_sheds_with_typed_errors_and_recovers() {
+    let mut config = test_config();
+    config.max_inflight = 1;
+    // A long window keeps the one admitted request in flight while the
+    // burst arrives, so shedding engages deterministically.
+    config.batch_window = Duration::from_millis(300);
+    let server = Server::start(config).expect("binds");
+    let addr = server.addr().to_string();
+
+    let barrier = Arc::new(Barrier::new(5));
+    let handles: Vec<_> = (0..5u64)
+        .map(|seed| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connects");
+                let request = Request::Eval {
+                    source: "decod".to_owned(),
+                    params: eval_params(50, seed),
+                };
+                barrier.wait();
+                client.request(&request).expect("responds")
+            })
+        })
+        .collect();
+    let mut ok = 0;
+    let mut shed = 0;
+    for handle in handles {
+        match handle.join().expect("client thread") {
+            Response::Eval { .. } => ok += 1,
+            Response::Error {
+                kind: ErrorKind::Overloaded,
+                retry_after_ms,
+                ..
+            } => {
+                assert!(retry_after_ms.is_some(), "shed responses carry a backoff");
+                shed += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(ok >= 1, "at least the admitted request completes");
+    assert!(shed >= 1, "a 5-burst against max_inflight=1 must shed");
+
+    // The server recovers: a lone request after the burst succeeds.
+    let mut client = Client::connect(&addr).expect("connects");
+    assert!(matches!(
+        client
+            .request(&Request::Eval {
+                source: "decod".to_owned(),
+                params: eval_params(50, 99),
+            })
+            .expect("responds"),
+        Response::Eval { .. }
+    ));
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn graceful_drain_completes_accepted_requests() {
+    let mut config = test_config();
+    // The window keeps the accepted request in flight long enough for
+    // the shutdown to land first.
+    config.batch_window = Duration::from_millis(200);
+    let server = Server::start(config).expect("binds");
+    let addr = server.addr().to_string();
+
+    let worker = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connects");
+            client
+                .request(&Request::Eval {
+                    source: "decod".to_owned(),
+                    params: eval_params(2000, 7),
+                })
+                .expect("in-flight request survives the drain")
+        })
+    };
+    // Let the eval request reach the dispatcher, then drain.
+    thread::sleep(Duration::from_millis(60));
+    let mut control = Client::connect(&addr).expect("connects");
+    assert!(matches!(
+        control.request(&Request::Shutdown).expect("shutdown"),
+        Response::Shutdown
+    ));
+    server.wait(); // returns only once everything is flushed
+
+    let response = worker.join().expect("worker thread");
+    let params = eval_params(2000, 7);
+    let (_, values) = offline("decod", &params);
+    let reference =
+        charfree_engine::TraceSummary::from_values(&values, charfree_engine::DEFAULT_CHUNK);
+    match response {
+        Response::Eval {
+            sum_ff,
+            transitions,
+            ..
+        } => {
+            assert_eq!(transitions, reference.transitions);
+            assert_eq!(sum_ff.to_bits(), reference.sum_ff.to_bits());
+        }
+        other => panic!("the accepted request must complete, got {other:?}"),
+    }
+
+    // And the port no longer accepts work.
+    match Client::connect(&addr) {
+        Err(_) => {}
+        Ok(mut client) => {
+            // A race can let one last connect through before the listener
+            // closes; it must at least refuse to serve.
+            match client.request(&Request::Stats) {
+                Err(_) => {}
+                Ok(Response::Error { .. }) => {}
+                Ok(other) => panic!("drained server answered {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn expected_matches_the_kernel_analytic_path() {
+    let server = Server::start(test_config()).expect("binds");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connects");
+
+    let mut ctx = PipelineCtx::new(Library::test_library());
+    let kernel = ctx.kernel_for(&Source::infer("decod")).expect("builds");
+    let reference = kernel.expected_capacitance(0.3, 0.6);
+
+    match client
+        .request(&Request::Expected {
+            source: "decod".to_owned(),
+            sp: 0.3,
+            st: 0.6,
+        })
+        .expect("responds")
+    {
+        Response::Expected { name, value } => {
+            assert_eq!(name, kernel.name());
+            assert_eq!(value.to_bits(), reference.to_bits());
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn malformed_lines_get_typed_bad_request_responses() {
+    let server = Server::start(test_config()).expect("binds");
+    let addr = server.addr().to_string();
+
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(&addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    for bad in ["this is not json", "{\"cmd\":\"frobnicate\"}", "{}"] {
+        writeln!(writer, "{bad}").expect("writes");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reads");
+        match Response::parse_line(line.trim_end()).expect("parses") {
+            Response::Error {
+                kind: ErrorKind::BadRequest,
+                ..
+            } => {}
+            other => panic!("`{bad}` got {other:?}"),
+        }
+    }
+    drop(writer);
+    drop(reader);
+    let mut client = Client::connect(&addr).expect("connects");
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.wait();
+}

@@ -67,6 +67,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "sim" => cmd_sim(rest),
         "bench" => cmd_bench(rest),
         "throughput" => cmd_throughput(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "--help" | "-h" | "help" => Ok(usage("")),
         other => Err(usage(&format!("unknown subcommand `{other}`"))),
     }
@@ -97,14 +99,21 @@ fn usage(prefix: &str) -> String {
          \x20 charfree throughput <bench|netlist|M.cfm> [--vectors N] [--jobs N]\n\
          \x20                [--max N] [--sp P] [--st P] [--seed S]\n\
          \x20                [--library L.lib] [-o BENCH_engine.json]\n\
+         \x20 charfree serve [--addr HOST:PORT] [--jobs N] [--batch-window DUR]\n\
+         \x20                [--max-inflight N] [--model-bytes-budget BYTES]\n\
+         \x20                [--library L.lib] [--cache-dir DIR] [--quiet]\n\
+         \x20 charfree client <load|eval|trace|expected|stats|shutdown> [operand]\n\
+         \x20                [--addr HOST:PORT] [--deadline-ms N] [eval/trace flags]\n\
          \n\
          every building/evaluating subcommand also takes\n\
          \x20                [--cache-dir DIR] [--telemetry json]\n\
          (`--cache-dir` warm-loads identical builds from a content-addressed\n\
          artifact store; `--telemetry json` streams per-stage events to stderr)\n\
          \n\
-         `--jobs 0` (the default) uses one worker per available core;\n\
-         results are bit-identical for every worker count.\n",
+         `--jobs N` needs N >= 1; omit the flag to use one worker per\n\
+         available core. results are bit-identical for every worker count.\n\
+         `--batch-window` takes `0`, `200us`, `5ms` or `1s`;\n\
+         `--model-bytes-budget` takes plain bytes or a K/M/G suffix.\n",
     );
     out
 }
@@ -175,6 +184,25 @@ impl<'a> Flags<'a> {
             }
         }
         Ok(())
+    }
+}
+
+/// Parses a `--jobs` flag. `0` used to fall through to the engine as a
+/// degenerate worker count; it is now rejected at parse time. Omitting
+/// the flag still means "one worker per available core" (returned as
+/// `0`, the engine's auto sentinel).
+fn parse_jobs(flags: &mut Flags<'_>) -> Result<usize, CliError> {
+    match flags.value("--jobs")? {
+        None => Ok(0),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => Err(
+                "`--jobs 0` is not a valid worker count; pass `--jobs N` with N >= 1, \
+                 or omit the flag to use one worker per available core"
+                    .to_owned(),
+            ),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!("bad value `{v}` for `--jobs`")),
+        },
     }
 }
 
@@ -256,7 +284,7 @@ impl EvalParams {
             vdd: flags.parse("--vdd", 3.3)?,
             period: flags.parse("--period", 10.0)?,
             seed: flags.parse("--seed", 1)?,
-            jobs: flags.parse("--jobs", 0)?,
+            jobs: parse_jobs(flags)?,
         })
     }
 
@@ -378,11 +406,29 @@ fn cmd_eval(args: &[String]) -> Result<String, CliError> {
         .kernel_for(&Source::infer(operand))
         .map_err(|e| e.to_string())?;
     let patterns = params.patterns(kernel.num_inputs())?;
-    let vdd = Voltage(params.vdd);
     // Compiled-kernel fast path: batch-evaluate the switched capacitance
     // of the whole stream, then scale by Vdd² (energy is monotone in C,
     // so the summary's max is the energy peak too).
     let summary = session.ctx.evaluate(&kernel, &patterns, params.jobs);
+    session.finish(eval_report(
+        kernel.name(),
+        patterns.len(),
+        &params,
+        &summary,
+    ))
+}
+
+/// Renders the `eval` report from a capacitance-domain summary. Shared
+/// by the offline path and `charfree client eval` (the summary crosses
+/// the wire bit-exactly), which is what keeps the two outputs
+/// byte-identical.
+fn eval_report(
+    name: &str,
+    vectors: usize,
+    params: &EvalParams,
+    summary: &charfree_engine::TraceSummary,
+) -> String {
+    let vdd = Voltage(params.vdd);
     let sum = vdd.volts() * vdd.volts() * summary.sum_ff;
     let peak = (vdd.volts() * vdd.volts() * summary.max_ff).max(0.0);
     let cycles = summary.transitions as f64;
@@ -390,9 +436,7 @@ fn cmd_eval(args: &[String]) -> Result<String, CliError> {
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "model `{}` on {} vectors (sp={sp}, st={st}, Vdd={} V, T={period} ns):",
-        kernel.name(),
-        patterns.len(),
+        "model `{name}` on {vectors} vectors (sp={sp}, st={st}, Vdd={} V, T={period} ns):",
         vdd.volts()
     );
     let _ = writeln!(report, "  average energy/cycle: {:.2} fJ", sum / cycles);
@@ -403,7 +447,7 @@ fn cmd_eval(args: &[String]) -> Result<String, CliError> {
     );
     let _ = writeln!(report, "  peak energy/cycle:    {peak:.2} fJ");
     let _ = writeln!(report, "  peak power:           {:.3} uW", peak / period);
-    session.finish(report)
+    report
 }
 
 fn cmd_datasheet(args: &[String]) -> Result<String, CliError> {
@@ -481,15 +525,19 @@ fn cmd_expected(args: &[String]) -> Result<String, CliError> {
             .expected_capacitance(sp, st)
             .femtofarads()
     };
+    session.finish(expected_report(kernel.name(), sp, st, c))
+}
+
+/// Renders the `expected` report (shared with `charfree client
+/// expected`; `c` crosses the wire bit-exactly).
+fn expected_report(name: &str, sp: f64, st: f64, c: f64) -> String {
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "analytic expected switched capacitance of `{}` at (sp={sp}, st={st}): {:.3} fF/cycle",
-        kernel.name(),
-        c
+        "analytic expected switched capacitance of `{name}` at (sp={sp}, st={st}): {c:.3} fF/cycle"
     );
     let _ = writeln!(report, "(symbolic — no simulation vectors involved)");
-    session.finish(report)
+    report
 }
 
 fn cmd_trace(args: &[String]) -> Result<String, CliError> {
@@ -505,10 +553,21 @@ fn cmd_trace(args: &[String]) -> Result<String, CliError> {
         .kernel_for(&Source::infer(operand))
         .map_err(|e| e.to_string())?;
     let patterns = params.patterns(kernel.num_inputs())?;
-    let caps: Vec<_> = session
-        .ctx
-        .trace(&kernel, &patterns, params.jobs)
-        .into_iter()
+    let values = session.ctx.trace(&kernel, &patterns, params.jobs);
+    session.finish(trace_report(&values, &params, out_path.as_deref())?)
+}
+
+/// Renders the `trace` output (CSV to stdout, or a summary line after
+/// writing `-o`) from per-transition switched capacitance. Shared with
+/// `charfree client trace`, whose values cross the wire bit-exactly.
+fn trace_report(
+    values_ff: &[f64],
+    params: &EvalParams,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    let caps: Vec<_> = values_ff
+        .iter()
+        .copied()
         .map(charfree_netlist::units::Capacitance)
         .collect();
     let trace = charfree_sim::EnergyTrace::from_switched(&caps, Voltage(params.vdd), params.period);
@@ -517,7 +576,7 @@ fn cmd_trace(args: &[String]) -> Result<String, CliError> {
     trace.write_csv(&mut csv).map_err(|e| e.to_string())?;
     match out_path {
         Some(path) => {
-            fs::write(&path, csv).map_err(|e| format!("{path}: {e}"))?;
+            fs::write(path, csv).map_err(|e| format!("{path}: {e}"))?;
             let mut report = String::new();
             let _ = writeln!(
                 report,
@@ -526,9 +585,9 @@ fn cmd_trace(args: &[String]) -> Result<String, CliError> {
                 trace.average_power().microwatts(),
                 trace.windowed_peak_energy(16).femtojoules()
             );
-            session.finish(report)
+            Ok(report)
         }
-        None => session.finish(String::from_utf8(csv).map_err(|e| e.to_string())?),
+        None => String::from_utf8(csv).map_err(|e| e.to_string()),
     }
 }
 
@@ -590,7 +649,7 @@ fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
     let mut session = Session::from_flags(&mut flags)?;
     let target = flags.positional()?;
     let vectors: usize = flags.parse("--vectors", 20_000)?;
-    let jobs: usize = flags.parse("--jobs", 0)?;
+    let jobs: usize = parse_jobs(&mut flags)?;
     let max: usize = flags.parse("--max", 0)?;
     let sp: f64 = flags.parse("--sp", 0.5)?;
     let st: f64 = flags.parse("--st", 0.5)?;
@@ -676,6 +735,269 @@ fn cmd_throughput(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(report, "wrote {path}");
     }
     session.finish(report)
+}
+
+/// Parses a `--batch-window` duration: `0` (no coalescing delay) or an
+/// integer with a `us`/`ms`/`s` suffix.
+fn parse_window(text: &str) -> Result<std::time::Duration, CliError> {
+    let t = text.trim();
+    if t == "0" {
+        return Ok(std::time::Duration::ZERO);
+    }
+    let bad = || format!("bad duration `{text}` for `--batch-window` (use 0, 200us, 5ms or 1s)");
+    let (digits, micros_per_unit) = if let Some(n) = t.strip_suffix("us") {
+        (n, 1u64)
+    } else if let Some(n) = t.strip_suffix("ms") {
+        (n, 1_000)
+    } else if let Some(n) = t.strip_suffix('s') {
+        (n, 1_000_000)
+    } else {
+        return Err(bad());
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    n.checked_mul(micros_per_unit)
+        .map(std::time::Duration::from_micros)
+        .ok_or_else(bad)
+}
+
+/// Parses a byte size: plain bytes or an integer with a binary `K`/`M`/
+/// `G` suffix.
+fn parse_byte_size(text: &str) -> Result<usize, CliError> {
+    let t = text.trim();
+    let bad = || format!("bad byte size `{text}` (use plain bytes or a K/M/G suffix)");
+    let (digits, mult) = match t.chars().last() {
+        Some('K' | 'k') => (&t[..t.len() - 1], 1usize << 10),
+        Some('M' | 'm') => (&t[..t.len() - 1], 1usize << 20),
+        Some('G' | 'g') => (&t[..t.len() - 1], 1usize << 30),
+        _ => (t, 1),
+    };
+    let n: usize = digits.parse().map_err(|_| bad())?;
+    n.checked_mul(mult).ok_or_else(bad)
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let mut flags = Flags::new(args);
+    let library = load_library(&mut flags)?;
+    let addr = flags
+        .value("--addr")?
+        .unwrap_or("127.0.0.1:7878")
+        .to_owned();
+    let jobs = parse_jobs(&mut flags)?;
+    let batch_window = parse_window(flags.value("--batch-window")?.unwrap_or("200us"))?;
+    let max_inflight: usize = flags.parse("--max-inflight", 64)?;
+    let model_bytes_budget =
+        parse_byte_size(flags.value("--model-bytes-budget")?.unwrap_or("64M"))?;
+    let cache_dir = flags.value("--cache-dir")?.map(std::path::PathBuf::from);
+    let quiet = flags.flag("--quiet");
+    flags.finish()?;
+    if max_inflight == 0 {
+        return Err("`--max-inflight` must be at least 1".to_owned());
+    }
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        jobs
+    };
+    let config = charfree_serve::ServeConfig {
+        addr,
+        jobs,
+        batch_window,
+        max_inflight,
+        model_bytes_budget,
+        library,
+        cache_dir,
+        idle_timeout: std::time::Duration::from_secs(30),
+        max_connections: 64,
+        log: !quiet,
+    };
+    let server = charfree_serve::Server::start(config).map_err(|e| format!("serve: {e}"))?;
+    // Blocks until a `shutdown` request drains the server; a clean
+    // return is the protocol's "exited 0".
+    server.wait();
+    Ok(String::new())
+}
+
+/// Turns a typed server error into a CLI failure message.
+fn expect_ok(response: charfree_serve::Response) -> Result<charfree_serve::Response, CliError> {
+    match response {
+        charfree_serve::Response::Error {
+            kind,
+            message,
+            retry_after_ms,
+        } => {
+            let mut text = format!("server error ({}): {message}", kind.name());
+            if let Some(ms) = retry_after_ms {
+                let _ = write!(text, " (retry after {ms} ms)");
+            }
+            Err(text)
+        }
+        ok => Ok(ok),
+    }
+}
+
+fn parse_deadline_ms(flags: &mut Flags<'_>) -> Result<Option<u64>, CliError> {
+    match flags.value("--deadline-ms")? {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("bad value `{v}` for `--deadline-ms`")),
+    }
+}
+
+fn cmd_client(args: &[String]) -> Result<String, CliError> {
+    use charfree_serve::{Request, Response, WireBuildOptions, WireEvalParams};
+    let (sub, rest) = args.split_first().ok_or_else(|| {
+        "client: missing subcommand (load|eval|trace|expected|stats|shutdown)".to_owned()
+    })?;
+    let mut flags = Flags::new(rest);
+    let addr = flags
+        .value("--addr")?
+        .unwrap_or("127.0.0.1:7878")
+        .to_owned();
+    let connect = |addr: &str| {
+        charfree_serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+    };
+    match sub.as_str() {
+        "load" | "build" => {
+            let operand = flags.positional()?.to_owned();
+            let max: usize = flags.parse("--max", 0)?;
+            let node_budget: u64 = flags.parse("--node-budget", 0)?;
+            let strict = flags.flag("--strict");
+            let upper_bound = flags.flag("--upper-bound");
+            let deadline_ms = parse_deadline_ms(&mut flags)?;
+            flags.finish()?;
+            let request = Request::Load {
+                source: operand,
+                options: WireBuildOptions {
+                    max_nodes: (max > 0).then_some(max),
+                    upper_bound,
+                    node_budget: (node_budget > 0).then_some(node_budget),
+                    strict,
+                    deadline_ms,
+                },
+            };
+            let mut client = connect(&addr)?;
+            match expect_ok(client.request(&request).map_err(|e| e.to_string())?)? {
+                Response::Load {
+                    name,
+                    instrs,
+                    terminals,
+                    bytes,
+                    apply_steps,
+                    resident,
+                } => {
+                    let mut report = String::new();
+                    let temp = if resident {
+                        "registry-resident".to_owned()
+                    } else if apply_steps == 0 {
+                        "warm, 0 apply steps".to_owned()
+                    } else {
+                        format!("cold, {apply_steps} apply steps")
+                    };
+                    let _ = writeln!(
+                        report,
+                        "loaded `{name}`: {instrs} instrs, {terminals} terminals, {bytes} bytes ({temp})"
+                    );
+                    Ok(report)
+                }
+                other => Err(format!("unexpected response {other:?}")),
+            }
+        }
+        "eval" | "trace" => {
+            let want_trace = sub == "trace";
+            let operand = flags.positional()?.to_owned();
+            let params = EvalParams::parse(&mut flags, if want_trace { 1000 } else { 10_000 })?;
+            let deadline_ms = parse_deadline_ms(&mut flags)?;
+            let out_path = if want_trace {
+                flags.value("-o")?.map(str::to_owned)
+            } else {
+                None
+            };
+            flags.finish()?;
+            let wire = WireEvalParams {
+                vectors: params.vectors,
+                sp: params.sp,
+                st: params.st,
+                seed: params.seed,
+                deadline_ms,
+            };
+            let request = if want_trace {
+                Request::Trace {
+                    source: operand,
+                    params: wire,
+                }
+            } else {
+                Request::Eval {
+                    source: operand,
+                    params: wire,
+                }
+            };
+            let mut client = connect(&addr)?;
+            match expect_ok(client.request(&request).map_err(|e| e.to_string())?)? {
+                Response::Eval {
+                    name,
+                    transitions,
+                    sum_ff,
+                    max_ff,
+                } => {
+                    // The summary crossed the wire bit-exactly; the Vdd²/
+                    // period scaling happens here, through the same
+                    // formatter the offline path uses, so stdout is
+                    // byte-identical to `charfree eval`.
+                    let summary = charfree_engine::TraceSummary {
+                        transitions,
+                        sum_ff,
+                        max_ff,
+                    };
+                    Ok(eval_report(&name, transitions + 1, &params, &summary))
+                }
+                Response::Trace { values, .. } => {
+                    trace_report(&values, &params, out_path.as_deref())
+                }
+                other => Err(format!("unexpected response {other:?}")),
+            }
+        }
+        "expected" => {
+            let operand = flags.positional()?.to_owned();
+            let sp: f64 = flags.parse("--sp", 0.5)?;
+            let st: f64 = flags.parse("--st", 0.5)?;
+            flags.finish()?;
+            let mut client = connect(&addr)?;
+            let request = Request::Expected {
+                source: operand,
+                sp,
+                st,
+            };
+            match expect_ok(client.request(&request).map_err(|e| e.to_string())?)? {
+                Response::Expected { name, value } => Ok(expected_report(&name, sp, st, value)),
+                other => Err(format!("unexpected response {other:?}")),
+            }
+        }
+        "stats" => {
+            flags.finish()?;
+            let mut client = connect(&addr)?;
+            match expect_ok(client.request(&Request::Stats).map_err(|e| e.to_string())?)? {
+                Response::Stats(payload) => Ok(format!("{}\n", payload.to_line())),
+                other => Err(format!("unexpected response {other:?}")),
+            }
+        }
+        "shutdown" => {
+            flags.finish()?;
+            let mut client = connect(&addr)?;
+            match expect_ok(
+                client
+                    .request(&Request::Shutdown)
+                    .map_err(|e| e.to_string())?,
+            )? {
+                Response::Shutdown => Ok(format!("server at {addr} acknowledged shutdown\n")),
+                other => Err(format!("unexpected response {other:?}")),
+            }
+        }
+        other => Err(format!(
+            "client: unknown subcommand `{other}` (load|eval|trace|expected|stats|shutdown)"
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -807,6 +1129,141 @@ mod tests {
         fs::write(&p, run(&s(&["bench", "parity"])).expect("bench")).expect("write");
         assert!(run(&s(&["model", p.to_str().expect("utf8"), "--max", "abc"])).is_err());
         assert!(run(&s(&["model", p.to_str().expect("utf8"), "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn explicit_jobs_zero_is_rejected_at_parse_time() {
+        // `--jobs 0` used to reach the engine; now every subcommand that
+        // takes the flag rejects it before any model is built.
+        for cmd in [
+            &["eval", "decod", "--jobs", "0"][..],
+            &["trace", "decod", "--jobs", "0"][..],
+            &["throughput", "decod", "--jobs", "0"][..],
+            &["serve", "--jobs", "0"][..],
+        ] {
+            let err = run(&s(cmd)).expect_err("--jobs 0 must be rejected");
+            assert!(err.contains("--jobs 0"), "{cmd:?}: {err}");
+            assert!(err.contains("N >= 1"), "{cmd:?}: {err}");
+        }
+        // Omitting the flag (auto) and N >= 1 both still work.
+        assert!(run(&s(&["eval", "decod", "--vectors", "50"])).is_ok());
+        assert!(run(&s(&["eval", "decod", "--vectors", "50", "--jobs", "2"])).is_ok());
+    }
+
+    #[test]
+    fn window_and_byte_size_parsers() {
+        use std::time::Duration;
+        assert_eq!(parse_window("0").expect("zero"), Duration::ZERO);
+        assert_eq!(
+            parse_window("200us").expect("us"),
+            Duration::from_micros(200)
+        );
+        assert_eq!(parse_window("5ms").expect("ms"), Duration::from_millis(5));
+        assert_eq!(parse_window("1s").expect("s"), Duration::from_secs(1));
+        assert!(parse_window("200").is_err());
+        assert!(parse_window("-1ms").is_err());
+        assert!(parse_window("fast").is_err());
+
+        assert_eq!(parse_byte_size("4096").expect("bytes"), 4096);
+        assert_eq!(parse_byte_size("64K").expect("K"), 64 << 10);
+        assert_eq!(parse_byte_size("64M").expect("M"), 64 << 20);
+        assert_eq!(parse_byte_size("2G").expect("G"), 2 << 30);
+        assert!(parse_byte_size("lots").is_err());
+        assert!(parse_byte_size("-1M").is_err());
+    }
+}
+
+#[cfg(test)]
+mod serve_tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    fn cat(groups: &[&[&str]]) -> Vec<String> {
+        groups
+            .iter()
+            .flat_map(|g| g.iter().map(|p| p.to_string()))
+            .collect()
+    }
+
+    /// `charfree client <cmd>` against a live server must print exactly
+    /// what the offline subcommand prints — byte-identical stdout is the
+    /// serving layer's core contract.
+    #[test]
+    fn client_output_is_byte_identical_to_offline() {
+        let mut config = charfree_serve::ServeConfig::new(Library::test_library());
+        config.addr = "127.0.0.1:0".to_owned();
+        config.log = false;
+        config.batch_window = std::time::Duration::from_micros(200);
+        let server = charfree_serve::Server::start(config).expect("binds");
+        let addr = server.addr().to_string();
+
+        let eval_args: &[&str] = &[
+            "decod",
+            "--vectors",
+            "500",
+            "--sp",
+            "0.4",
+            "--st",
+            "0.3",
+            "--seed",
+            "7",
+            "--vdd",
+            "2.5",
+            "--period",
+            "8.5",
+        ];
+        let offline = run(&cat(&[&["eval"], eval_args])).expect("offline eval");
+        let served =
+            run(&cat(&[&["client", "eval"], eval_args, &["--addr", &addr]])).expect("served eval");
+        assert_eq!(offline, served, "eval outputs diverge");
+
+        let trace_args: &[&str] = &["cm85", "--vectors", "200", "--seed", "3"];
+        let offline = run(&cat(&[&["trace"], trace_args])).expect("offline trace");
+        let served = run(&cat(&[
+            &["client", "trace"],
+            trace_args,
+            &["--addr", &addr],
+        ]))
+        .expect("served trace");
+        assert_eq!(offline, served, "trace CSVs diverge");
+
+        let expected_args: &[&str] = &["decod", "--sp", "0.2", "--st", "0.3"];
+        let offline = run(&cat(&[&["expected"], expected_args])).expect("offline expected");
+        let served = run(&cat(&[
+            &["client", "expected"],
+            expected_args,
+            &["--addr", &addr],
+        ]))
+        .expect("served expected");
+        assert_eq!(offline, served, "expected outputs diverge");
+
+        let report = run(&s(&["client", "load", "decod", "--addr", &addr])).expect("load");
+        assert!(report.contains("loaded `decod`"), "{report}");
+        let report = run(&s(&["client", "stats", "--addr", &addr])).expect("stats");
+        assert!(report.contains("\"completed\""), "{report}");
+
+        let report = run(&s(&["client", "shutdown", "--addr", &addr])).expect("shutdown");
+        assert!(report.contains("acknowledged shutdown"), "{report}");
+        server.wait();
+    }
+
+    #[test]
+    fn client_reports_typed_server_errors() {
+        let mut config = charfree_serve::ServeConfig::new(Library::test_library());
+        config.addr = "127.0.0.1:0".to_owned();
+        config.log = false;
+        let server = charfree_serve::Server::start(config).expect("binds");
+        let addr = server.addr().to_string();
+
+        let err = run(&s(&["client", "eval", "no-such-bench", "--addr", &addr]))
+            .expect_err("unknown operand fails");
+        assert!(err.contains("server error (bad-request)"), "{err}");
+
+        run(&s(&["client", "shutdown", "--addr", &addr])).expect("shutdown");
+        server.wait();
     }
 }
 
