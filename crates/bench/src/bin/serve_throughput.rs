@@ -131,6 +131,7 @@ fn main() {
                     seed += 1;
                     let request = Request::Eval {
                         source: "decod".to_owned(),
+                        options: WireBuildOptions::default(),
                         params: WireEvalParams {
                             vectors,
                             sp: 0.5,

@@ -153,6 +153,7 @@ pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -163,9 +164,17 @@ pub fn parse(text: &str) -> Result<Json, String> {
     Ok(value)
 }
 
+/// Maximum container nesting the parser accepts. The protocol itself is
+/// flat (depth 2 at most); the bound exists because recursion depth is
+/// attacker-controlled — a line of `[[[[…` well under `MAX_LINE_BYTES`
+/// would otherwise recurse once per byte and overflow the connection
+/// thread's stack, aborting the whole process.
+const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -304,12 +313,25 @@ impl Parser<'_> {
         }
     }
 
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -320,6 +342,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -329,10 +352,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -348,6 +373,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -393,6 +419,28 @@ mod tests {
         assert_eq!(parse(&line).expect("parses"), v);
         let u = parse(r#""A⚠""#).expect("unicode escapes");
         assert_eq!(u.as_str(), Some("A\u{26A0}"));
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_stack_overflowed() {
+        // At the bound: parses.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok(), "depth {MAX_DEPTH} must parse");
+        // One past the bound: a parse error, not a recursion blow-up.
+        let deep = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&deep)
+            .expect_err("depth past the bound must error")
+            .contains("nesting"));
+        // The attack shape: ~100KB of unclosed opens (well under the
+        // server's line limit) must fail fast instead of overflowing the
+        // stack and aborting the process. Mixed and object forms too.
+        for attack in [
+            "[".repeat(100_000),
+            "[{\"k\":".repeat(30_000),
+            "{\"k\":[".repeat(30_000),
+        ] {
+            assert!(parse(&attack).is_err(), "deep input must be rejected");
+        }
     }
 
     #[test]

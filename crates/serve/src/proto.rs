@@ -40,7 +40,10 @@ pub struct WireBuildOptions {
 }
 
 impl WireBuildOptions {
-    fn to_json_fields(&self, fields: &mut Vec<(String, Json)>) {
+    /// Writes the model-shaping fields (everything but `deadline_ms`).
+    /// Shared by `load` serialization and by `eval`/`trace`, where the
+    /// request-level `deadline_ms` belongs to the eval params instead.
+    fn to_model_json_fields(&self, fields: &mut Vec<(String, Json)>) {
         if let Some(max) = self.max_nodes {
             fields.push(("max_nodes".to_owned(), Json::num(max)));
         }
@@ -53,12 +56,18 @@ impl WireBuildOptions {
         if self.strict {
             fields.push(("strict".to_owned(), Json::Bool(true)));
         }
+    }
+
+    fn to_json_fields(&self, fields: &mut Vec<(String, Json)>) {
+        self.to_model_json_fields(fields);
         if let Some(ms) = self.deadline_ms {
             fields.push(("deadline_ms".to_owned(), Json::num(ms)));
         }
     }
 
-    fn from_json(obj: &Json) -> Result<WireBuildOptions, String> {
+    /// Parses the model-shaping fields, leaving `deadline_ms` unset (for
+    /// `eval`/`trace`, which carry the deadline in their eval params).
+    fn from_model_json(obj: &Json) -> Result<WireBuildOptions, String> {
         Ok(WireBuildOptions {
             max_nodes: opt_u64(obj, "max_nodes")?.map(|n| n as usize),
             upper_bound: obj
@@ -67,7 +76,14 @@ impl WireBuildOptions {
                 .unwrap_or(false),
             node_budget: opt_u64(obj, "node_budget")?,
             strict: obj.get("strict").and_then(Json::as_bool).unwrap_or(false),
+            deadline_ms: None,
+        })
+    }
+
+    fn from_json(obj: &Json) -> Result<WireBuildOptions, String> {
+        Ok(WireBuildOptions {
             deadline_ms: opt_u64(obj, "deadline_ms")?,
+            ..WireBuildOptions::from_model_json(obj)?
         })
     }
 }
@@ -125,6 +141,11 @@ pub enum Request {
     Eval {
         /// Model operand (auto-loaded on registry miss).
         source: String,
+        /// Build options the model was (or will be) loaded with, so an
+        /// eval targets exactly the kernel a prior `load` pinned.
+        /// `deadline_ms` is always `None` here — the request deadline
+        /// lives in `params` and is applied to a cold build server-side.
+        options: WireBuildOptions,
         /// Pattern-stream parameters.
         params: WireEvalParams,
     },
@@ -132,6 +153,8 @@ pub enum Request {
     Trace {
         /// Model operand (auto-loaded on registry miss).
         source: String,
+        /// Build options (see [`Request::Eval`]).
+        options: WireBuildOptions,
         /// Pattern-stream parameters.
         params: WireEvalParams,
     },
@@ -171,8 +194,18 @@ impl Request {
                 fields.push(("source".to_owned(), Json::Str(source.clone())));
                 options.to_json_fields(&mut fields);
             }
-            Request::Eval { source, params } | Request::Trace { source, params } => {
+            Request::Eval {
+                source,
+                options,
+                params,
+            }
+            | Request::Trace {
+                source,
+                options,
+                params,
+            } => {
                 fields.push(("source".to_owned(), Json::Str(source.clone())));
+                options.to_model_json_fields(&mut fields);
                 params.to_json_fields(&mut fields);
             }
             Request::Expected { source, sp, st } => {
@@ -203,10 +236,12 @@ impl Request {
             }),
             "eval" => Ok(Request::Eval {
                 source: req_str(&obj, "source")?,
+                options: WireBuildOptions::from_model_json(&obj)?,
                 params: WireEvalParams::from_json(&obj)?,
             }),
             "trace" => Ok(Request::Trace {
                 source: req_str(&obj, "source")?,
+                options: WireBuildOptions::from_model_json(&obj)?,
                 params: WireEvalParams::from_json(&obj)?,
             }),
             "expected" => Ok(Request::Expected {
@@ -545,6 +580,7 @@ mod tests {
             },
             Request::Eval {
                 source: "x.blif".to_owned(),
+                options: WireBuildOptions::default(),
                 params: WireEvalParams {
                     vectors: 500,
                     sp: 0.5,
@@ -555,6 +591,13 @@ mod tests {
             },
             Request::Trace {
                 source: "decod".to_owned(),
+                options: WireBuildOptions {
+                    max_nodes: Some(128),
+                    upper_bound: true,
+                    node_budget: Some(4096),
+                    strict: true,
+                    deadline_ms: None,
+                },
                 params: WireEvalParams {
                     vectors: 64,
                     sp: 0.25,

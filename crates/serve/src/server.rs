@@ -50,6 +50,12 @@ const MAX_LINE_BYTES: usize = 1 << 20;
 /// Suggested client backoff when a request is shed.
 const RETRY_AFTER_MS: u64 = 25;
 
+/// Write timeout for the `overloaded` line sent to a connection rejected
+/// at the cap. The write happens on the acceptor thread; without a
+/// timeout a client that connects but never reads could fill the kernel
+/// send buffer and stall the accept loop for everyone.
+const REJECT_WRITE_TIMEOUT: Duration = Duration::from_millis(100);
+
 /// Server construction parameters (the `charfree serve` flags).
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
@@ -61,6 +67,11 @@ pub struct ServeConfig {
     pub batch_window: Duration,
     /// Request-level admission cap.
     pub max_inflight: usize,
+    /// Largest `vectors` a single `eval`/`trace` request may ask for.
+    /// Admission control counts requests, not work; this caps the work
+    /// (pattern storage and, for `trace`, response size) one request can
+    /// pin, so a single `vectors=10^10` line cannot OOM the server.
+    pub max_vectors: usize,
     /// Registry byte budget for resident kernels.
     pub model_bytes_budget: usize,
     /// Cell library models are built against.
@@ -85,6 +96,7 @@ impl ServeConfig {
             jobs: 1,
             batch_window: Duration::from_micros(200),
             max_inflight: 64,
+            max_vectors: 4_000_000,
             model_bytes_budget: 64 << 20,
             library,
             cache_dir: None,
@@ -102,6 +114,7 @@ struct Shared {
     stats: Arc<ServerStats>,
     inflight: AtomicUsize,
     max_inflight: usize,
+    max_vectors: usize,
     draining: AtomicBool,
     conns: Mutex<usize>,
     conns_cv: Condvar,
@@ -147,6 +160,7 @@ impl Server {
             stats: Arc::clone(&stats),
             inflight: AtomicUsize::new(0),
             max_inflight: config.max_inflight.max(1),
+            max_vectors: config.max_vectors.max(2),
             draining: AtomicBool::new(false),
             conns: Mutex::new(0),
             conns_cv: Condvar::new(),
@@ -223,6 +237,21 @@ fn begin_drain(shared: &Shared) {
     }
 }
 
+/// RAII slot in the connection count. Releasing on `Drop` (rather than
+/// after `handle_connection` returns) means a panic anywhere in the
+/// connection path still gives the slot back and wakes [`Server::wait`];
+/// otherwise one panicking connection would leak a `max_connections`
+/// slot forever and leave drain blocked on `conns > 0`.
+struct ConnSlot(Arc<Shared>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        let mut conns = self.0.conns.lock().unwrap_or_else(|e| e.into_inner());
+        *conns -= 1;
+        self.0.conns_cv.notify_all();
+    }
+}
+
 fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
@@ -249,27 +278,24 @@ fn accept_loop(
                 }
                 .to_line();
                 let mut stream = stream;
+                let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
                 let _ = writeln!(stream, "{line}");
                 continue;
             }
             *conns += 1;
         }
+        let slot = ConnSlot(Arc::clone(shared));
         let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
         let conn_shared = Arc::clone(shared);
         let conn_handle = handle.clone();
-        let spawned = thread::Builder::new()
+        // On spawn failure the unrun closure is dropped, which drops the
+        // slot — no separate error path needed.
+        let _ = thread::Builder::new()
             .name(format!("charfree-serve-conn-{conn_id}"))
             .spawn(move || {
+                let _slot = slot;
                 handle_connection(stream, conn_id, &conn_shared, conn_handle);
-                let mut conns = conn_shared.conns.lock().unwrap_or_else(|e| e.into_inner());
-                *conns -= 1;
-                conn_shared.conns_cv.notify_all();
             });
-        if spawned.is_err() {
-            let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
-            *conns -= 1;
-            shared.conns_cv.notify_all();
-        }
     }
 }
 
@@ -484,8 +510,16 @@ fn process_line(line: &str, shared: &Shared, handle: &BatchHandle) -> (Response,
     };
     let response = match request {
         Request::Load { source, options } => do_load(shared, &source, &options),
-        Request::Eval { source, params } => do_eval(shared, handle, &source, &params, false),
-        Request::Trace { source, params } => do_eval(shared, handle, &source, &params, true),
+        Request::Eval {
+            source,
+            options,
+            params,
+        } => do_eval(shared, handle, &source, &options, &params, false),
+        Request::Trace {
+            source,
+            options,
+            params,
+        } => do_eval(shared, handle, &source, &options, &params, true),
         Request::Expected { source, sp, st } => do_expected(shared, &source, sp, st),
         Request::Stats | Request::Shutdown => unreachable!("handled above"),
     };
@@ -510,14 +544,15 @@ fn map_pipeline_error(err: &PipelineError) -> ErrorKind {
     }
 }
 
+/// Registry key: the source operand plus every model-*shaping* option.
+/// `deadline_ms` is deliberately excluded — it is a per-request wall
+/// clock, not a model parameter, and keying on it would fragment
+/// residency across otherwise-identical builds. (Deadline-bounded builds
+/// are also never *inserted*; see [`resolve`].)
 fn registry_key(source: &str, options: &WireBuildOptions) -> String {
     format!(
-        "{source}\0max_nodes={:?}\0upper_bound={}\0node_budget={:?}\0strict={}\0deadline={:?}",
-        options.max_nodes,
-        options.upper_bound,
-        options.node_budget,
-        options.strict,
-        options.deadline_ms
+        "{source}\0max_nodes={:?}\0upper_bound={}\0node_budget={:?}\0strict={}",
+        options.max_nodes, options.upper_bound, options.node_budget, options.strict,
     )
 }
 
@@ -559,7 +594,13 @@ fn resolve(
         .map_err(|e| error(map_pipeline_error(&e), e.to_string()))?;
     let applied = ctx.apply_steps();
     let kernel = Arc::new(kernel);
-    shared.registry.insert(&key, Arc::clone(&kernel));
+    // A deadline-bounded build is timing-dependent (the degradation
+    // point depends on wall clock — same reason `BuildOptions::cacheable`
+    // bypasses the artifact store), so its result serves this request
+    // only and never becomes the registry-resident model for the key.
+    if options.deadline_ms.is_none() {
+        shared.registry.insert(&key, Arc::clone(&kernel));
+    }
     Ok((kernel, applied, false))
 }
 
@@ -581,13 +622,29 @@ fn do_eval(
     shared: &Shared,
     handle: &BatchHandle,
     source: &str,
+    options: &WireBuildOptions,
     params: &WireEvalParams,
     want_values: bool,
 ) -> Response {
+    if params.vectors > shared.max_vectors {
+        return error(
+            ErrorKind::BadRequest,
+            format!(
+                "vectors={} exceeds this server's per-request cap ({}); split the request or restart with a larger --max-vectors",
+                params.vectors, shared.max_vectors
+            ),
+        );
+    }
     let deadline = params
         .deadline_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
-    let (kernel, _, _) = match resolve(shared, source, &WireBuildOptions::default()) {
+    // The request deadline also bounds a cold build (and, being
+    // timing-dependent, keeps that build out of the registry).
+    let build_options = WireBuildOptions {
+        deadline_ms: params.deadline_ms,
+        ..options.clone()
+    };
+    let (kernel, _, _) = match resolve(shared, source, &build_options) {
         Ok(resolved) => resolved,
         Err(response) => return response,
     };

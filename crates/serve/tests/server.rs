@@ -74,11 +74,13 @@ fn multi_connection_mixed_workload_is_bit_identical_to_offline() {
                 let request = if want_trace {
                     Request::Trace {
                         source: source.to_owned(),
+                        options: WireBuildOptions::default(),
                         params: params.clone(),
                     }
                 } else {
                     Request::Eval {
                         source: source.to_owned(),
+                        options: WireBuildOptions::default(),
                         params: params.clone(),
                     }
                 };
@@ -207,6 +209,7 @@ fn overload_sheds_with_typed_errors_and_recovers() {
                 let mut client = Client::connect(&addr).expect("connects");
                 let request = Request::Eval {
                     source: "decod".to_owned(),
+                    options: WireBuildOptions::default(),
                     params: eval_params(50, seed),
                 };
                 barrier.wait();
@@ -239,6 +242,7 @@ fn overload_sheds_with_typed_errors_and_recovers() {
         client
             .request(&Request::Eval {
                 source: "decod".to_owned(),
+                options: WireBuildOptions::default(),
                 params: eval_params(50, 99),
             })
             .expect("responds"),
@@ -264,6 +268,7 @@ fn graceful_drain_completes_accepted_requests() {
             client
                 .request(&Request::Eval {
                     source: "decod".to_owned(),
+                    options: WireBuildOptions::default(),
                     params: eval_params(2000, 7),
                 })
                 .expect("in-flight request survives the drain")
@@ -334,6 +339,168 @@ fn expected_matches_the_kernel_analytic_path() {
         }
         other => panic!("unexpected response {other:?}"),
     }
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn deeply_nested_request_line_is_rejected_without_crashing() {
+    // ~200KB of `[` is well under the 1MB line limit but used to drive
+    // the recursive-descent JSON parser ~200k frames deep, overflowing
+    // the connection thread's stack and aborting the whole process. It
+    // must instead come back as a typed bad-request, with the server
+    // fully alive afterwards.
+    let server = Server::start(test_config()).expect("binds");
+    let addr = server.addr().to_string();
+
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(&addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let attack = "[".repeat(200_000);
+    writeln!(writer, "{attack}").expect("writes");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reads");
+    match Response::parse_line(line.trim_end()).expect("parses") {
+        Response::Error {
+            kind: ErrorKind::BadRequest,
+            ..
+        } => {}
+        other => panic!("deep nesting got {other:?}"),
+    }
+
+    // The process survived and still serves.
+    let mut client = Client::connect(&addr).expect("connects");
+    assert!(matches!(
+        client.request(&Request::Stats).expect("stats"),
+        Response::Stats(_)
+    ));
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn oversized_vectors_requests_are_rejected_not_evaluated() {
+    let mut config = test_config();
+    config.max_vectors = 100;
+    let server = Server::start(config).expect("binds");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connects");
+
+    // One past the cap: a typed bad-request, before any pattern storage
+    // is allocated.
+    match client
+        .request(&Request::Eval {
+            source: "decod".to_owned(),
+            options: WireBuildOptions::default(),
+            params: eval_params(101, 1),
+        })
+        .expect("responds")
+    {
+        Response::Error {
+            kind: ErrorKind::BadRequest,
+            message,
+            ..
+        } => assert!(message.contains("max-vectors"), "{message}"),
+        other => panic!("over-cap request got {other:?}"),
+    }
+    // At the cap: served normally.
+    assert!(matches!(
+        client
+            .request(&Request::Eval {
+                source: "decod".to_owned(),
+                options: WireBuildOptions::default(),
+                params: eval_params(100, 1),
+            })
+            .expect("responds"),
+        Response::Eval { .. }
+    ));
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn eval_targets_the_loaded_build_options() {
+    let server = Server::start(test_config()).expect("binds");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connects");
+
+    let options = WireBuildOptions {
+        max_nodes: Some(64),
+        ..WireBuildOptions::default()
+    };
+    let load = |client: &mut Client, options: &WireBuildOptions| match client
+        .request(&Request::Load {
+            source: "decod".to_owned(),
+            options: options.clone(),
+        })
+        .expect("load responds")
+    {
+        Response::Load { resident, .. } => resident,
+        other => panic!("load got {other:?}"),
+    };
+    assert!(!load(&mut client, &options), "first load is cold");
+    // Evaluating with the same options must hit the loaded model, not
+    // silently build and evaluate a second, default-option model.
+    assert!(matches!(
+        client
+            .request(&Request::Eval {
+                source: "decod".to_owned(),
+                options: options.clone(),
+                params: eval_params(50, 3),
+            })
+            .expect("responds"),
+        Response::Eval { .. }
+    ));
+    assert!(
+        load(&mut client, &options),
+        "the options build is still the resident one after eval"
+    );
+    assert!(
+        !load(&mut client, &WireBuildOptions::default()),
+        "no default-option model was built behind the client's back"
+    );
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn deadline_bounded_builds_never_become_registry_resident() {
+    let server = Server::start(test_config()).expect("binds");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connects");
+
+    let load = |client: &mut Client, options: &WireBuildOptions| match client
+        .request(&Request::Load {
+            source: "cm85".to_owned(),
+            options: options.clone(),
+        })
+        .expect("load responds")
+    {
+        Response::Load { resident, .. } => resident,
+        other => panic!("load got {other:?}"),
+    };
+    // A deadline-bounded build is timing-dependent (the degradation
+    // point depends on wall clock), so it serves its own request but is
+    // never inserted: a repeat load is cold again.
+    let deadline_options = WireBuildOptions {
+        deadline_ms: Some(60_000),
+        ..WireBuildOptions::default()
+    };
+    assert!(!load(&mut client, &deadline_options));
+    assert!(
+        !load(&mut client, &deadline_options),
+        "a deadline-bounded build must not have been cached"
+    );
+    // A deterministic build under the same structural key does insert,
+    // and subsequent deadline-bounded requests may reuse it.
+    assert!(!load(&mut client, &WireBuildOptions::default()));
+    assert!(load(&mut client, &WireBuildOptions::default()));
+    assert!(
+        load(&mut client, &deadline_options),
+        "a resident deterministic build satisfies a deadline-bounded request"
+    );
     client.request(&Request::Shutdown).expect("shutdown");
     server.wait();
 }

@@ -100,10 +100,12 @@ fn usage(prefix: &str) -> String {
          \x20                [--max N] [--sp P] [--st P] [--seed S]\n\
          \x20                [--library L.lib] [-o BENCH_engine.json]\n\
          \x20 charfree serve [--addr HOST:PORT] [--jobs N] [--batch-window DUR]\n\
-         \x20                [--max-inflight N] [--model-bytes-budget BYTES]\n\
+         \x20                [--max-inflight N] [--max-vectors N]\n\
+         \x20                [--model-bytes-budget BYTES]\n\
          \x20                [--library L.lib] [--cache-dir DIR] [--quiet]\n\
          \x20 charfree client <load|eval|trace|expected|stats|shutdown> [operand]\n\
          \x20                [--addr HOST:PORT] [--deadline-ms N] [eval/trace flags]\n\
+         \x20                [build flags: --max N --node-budget N --strict --upper-bound]\n\
          \n\
          every building/evaluating subcommand also takes\n\
          \x20                [--cache-dir DIR] [--telemetry json]\n\
@@ -785,6 +787,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let jobs = parse_jobs(&mut flags)?;
     let batch_window = parse_window(flags.value("--batch-window")?.unwrap_or("200us"))?;
     let max_inflight: usize = flags.parse("--max-inflight", 64)?;
+    let max_vectors: usize = flags.parse("--max-vectors", 4_000_000)?;
     let model_bytes_budget =
         parse_byte_size(flags.value("--model-bytes-budget")?.unwrap_or("64M"))?;
     let cache_dir = flags.value("--cache-dir")?.map(std::path::PathBuf::from);
@@ -792,6 +795,11 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     flags.finish()?;
     if max_inflight == 0 {
         return Err("`--max-inflight` must be at least 1".to_owned());
+    }
+    if max_vectors < 2 {
+        return Err(
+            "`--max-vectors` must be at least 2 (evaluation needs a pattern pair)".to_owned(),
+        );
     }
     let jobs = if jobs == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -803,6 +811,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         jobs,
         batch_window,
         max_inflight,
+        max_vectors,
         model_bytes_budget,
         library,
         cache_dir,
@@ -909,12 +918,25 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
             let operand = flags.positional()?.to_owned();
             let params = EvalParams::parse(&mut flags, if want_trace { 1000 } else { 10_000 })?;
             let deadline_ms = parse_deadline_ms(&mut flags)?;
+            // The same build flags `client load` takes, so an eval can
+            // target exactly the model a prior load pinned.
+            let max: usize = flags.parse("--max", 0)?;
+            let node_budget: u64 = flags.parse("--node-budget", 0)?;
+            let strict = flags.flag("--strict");
+            let upper_bound = flags.flag("--upper-bound");
             let out_path = if want_trace {
                 flags.value("-o")?.map(str::to_owned)
             } else {
                 None
             };
             flags.finish()?;
+            let options = WireBuildOptions {
+                max_nodes: (max > 0).then_some(max),
+                upper_bound,
+                node_budget: (node_budget > 0).then_some(node_budget),
+                strict,
+                deadline_ms: None,
+            };
             let wire = WireEvalParams {
                 vectors: params.vectors,
                 sp: params.sp,
@@ -925,11 +947,13 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
             let request = if want_trace {
                 Request::Trace {
                     source: operand,
+                    options,
                     params: wire,
                 }
             } else {
                 Request::Eval {
                     source: operand,
+                    options,
                     params: wire,
                 }
             };
