@@ -1,0 +1,154 @@
+//! Greedy failing-case minimization.
+//!
+//! Given a `(circuit, trace)` pair on which some check fails, the
+//! shrinker repeatedly tries structure-removing edits — drop trace
+//! vectors (halves first, then singles), drop gates, drop inputs — and
+//! keeps any edit after which the failure still reproduces, until a
+//! fixpoint. The result is the smallest case the greedy walk can reach,
+//! which in practice turns a 30-gate random DAG into a handful of gates
+//! pinpointing the divergence.
+
+use crate::gen::CircuitSpec;
+
+/// A minimized failing case.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized circuit.
+    pub spec: CircuitSpec,
+    /// The minimized pattern trace (always at least 2 patterns).
+    pub patterns: Vec<Vec<bool>>,
+    /// Edits accepted on the way down.
+    pub steps: usize,
+}
+
+/// Shrinks `(spec, patterns)` while `still_fails` keeps returning `true`
+/// for the reduced case. `still_fails` must be deterministic; it is
+/// called once per candidate edit.
+///
+/// The initial case is assumed failing (the caller observed the
+/// mismatch); if `still_fails` rejects it, it is returned unchanged.
+pub fn shrink<F>(spec: &CircuitSpec, patterns: &[Vec<bool>], mut still_fails: F) -> Shrunk
+where
+    F: FnMut(&CircuitSpec, &[Vec<bool>]) -> bool,
+{
+    let mut spec = spec.clone();
+    let mut patterns: Vec<Vec<bool>> = patterns.to_vec();
+    let mut steps = 0usize;
+
+    loop {
+        let mut progressed = false;
+
+        // 1. Trace reduction: drop the later half, then single vectors.
+        while patterns.len() > 2 {
+            let half = patterns.len() / 2;
+            let head: Vec<Vec<bool>> = patterns[..half.max(2)].to_vec();
+            if head.len() < patterns.len() && still_fails(&spec, &head) {
+                patterns = head;
+                steps += 1;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+        let mut v = 0;
+        while patterns.len() > 2 && v < patterns.len() {
+            let mut candidate = patterns.clone();
+            candidate.remove(v);
+            if still_fails(&spec, &candidate) {
+                patterns = candidate;
+                steps += 1;
+                progressed = true;
+            } else {
+                v += 1;
+            }
+        }
+
+        // 2. Gate removal, highest index first (consumers rewire to the
+        // removed gate's first fanin). Keep at least one gate so the
+        // circuit stays a circuit.
+        let mut j = spec.gates.len();
+        while j > 0 && spec.gates.len() > 1 {
+            j -= 1;
+            if j >= spec.gates.len() {
+                continue;
+            }
+            let candidate = spec.without_gate(j);
+            if still_fails(&candidate, &patterns) {
+                spec = candidate;
+                steps += 1;
+                progressed = true;
+            }
+        }
+
+        // 3. Input removal (trace bits drop with the input).
+        let mut i = spec.num_inputs;
+        while i > 0 && spec.num_inputs > 2 {
+            i -= 1;
+            if i >= spec.num_inputs {
+                continue;
+            }
+            let candidate_spec = spec.without_input(i);
+            let candidate_patterns: Vec<Vec<bool>> = patterns
+                .iter()
+                .map(|p| {
+                    let mut p = p.clone();
+                    p.remove(i);
+                    p
+                })
+                .collect();
+            if still_fails(&candidate_spec, &candidate_patterns) {
+                spec = candidate_spec;
+                patterns = candidate_patterns;
+                steps += 1;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            break;
+        }
+    }
+
+    Shrunk {
+        spec,
+        patterns,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{CircuitSpec, GenConfig};
+    use charfree_netlist::CellKind;
+
+    /// A check that "fails" whenever the circuit still contains an XOR
+    /// gate — the shrinker should strip everything else away.
+    #[test]
+    fn shrinks_to_the_smallest_case_containing_the_trigger() {
+        let cfg = GenConfig {
+            num_inputs: 6,
+            num_gates: 24,
+            window: 8,
+        };
+        // Find a seed whose DAG contains at least one XOR.
+        let (spec, patterns) = (0..64u64)
+            .find_map(|seed| {
+                let s = CircuitSpec::random("trigger", seed, &cfg);
+                s.gates
+                    .iter()
+                    .any(|g| g.kind == CellKind::Xor2)
+                    .then(|| (s, vec![vec![false; 6]; 8]))
+            })
+            .expect("some seed contains an XOR");
+        let fails =
+            |s: &CircuitSpec, _p: &[Vec<bool>]| s.gates.iter().any(|g| g.kind == CellKind::Xor2);
+        assert!(fails(&spec, &patterns));
+        let shrunk = shrink(&spec, &patterns, fails);
+        assert!(fails(&shrunk.spec, &shrunk.patterns), "must still fail");
+        assert_eq!(shrunk.spec.gates.len(), 1, "only the trigger survives");
+        assert_eq!(shrunk.patterns.len(), 2, "trace floor is 2 patterns");
+        assert!(shrunk.spec.num_inputs <= 2);
+        assert!(shrunk.steps > 0);
+    }
+}

@@ -181,3 +181,19 @@ fn kernel_file_round_trip_preserves_evaluation() {
         assert_eq!(x.to_bits(), want.to_bits(), "arena divergence at {t}");
     }
 }
+
+/// The shared hand-built fixture (the same one the model-vs-golden
+/// integration suite uses) runs exhaustively through the kernel: every
+/// one of the 8x8 transitions agrees with the arena bit for bit.
+#[test]
+fn kernel_matches_arena_on_shared_hand_fixture() {
+    let library = Library::test_library();
+    let netlist = charfree_netlist::testutil::hand_unit(&library);
+    let model = ModelBuilder::new(&netlist).build();
+    let kernel = Kernel::compile(&model);
+    for (xi, xf) in charfree_sim::ExhaustivePairs::new(3) {
+        let want = model.capacitance(&xi, &xf).femtofarads();
+        let got = kernel.eval_transition(&xi, &xf);
+        assert_eq!(got.to_bits(), want.to_bits(), "xi={xi:?} xf={xf:?}");
+    }
+}

@@ -41,6 +41,7 @@ pub mod benchmarks;
 pub mod blif;
 pub mod libspec;
 pub mod sop;
+pub mod testutil;
 pub mod units;
 pub mod verilog;
 

@@ -1,0 +1,88 @@
+//! Shared hand-built netlist fixtures for tests across the workspace.
+//!
+//! Several crates used to hand-roll the same three small circuits in
+//! their test modules; keeping the canonical copies here means a fixture
+//! change (or a structural API change) ripples through every consumer at
+//! once instead of silently diverging.
+
+use crate::{CellKind, Library, Netlist};
+
+/// The 3-input hand-built unit used by the end-to-end model tests:
+///
+/// ```text
+/// ab  = NAND2(a, b)
+/// abc = OAI21(ab, c, a)
+/// x   = XOR2(abc, c)        (primary output)
+/// ```
+///
+/// Exercises multi-fanout (`a` and `c` feed two gates each), a complex
+/// cell, and every structural mutation API on the way.
+#[must_use]
+pub fn hand_unit(library: &Library) -> Netlist {
+    let mut n = Netlist::new("hand");
+    let a = n.add_input("a").expect("fresh signal name");
+    let b = n.add_input("b").expect("fresh signal name");
+    let c = n.add_input("c").expect("fresh signal name");
+    let ab = n.add_gate(CellKind::Nand2, &[a, b]).expect("valid fanin");
+    let abc = n
+        .add_gate(CellKind::Oai21, &[ab, c, a])
+        .expect("valid fanin");
+    let x = n.add_gate(CellKind::Xor2, &[abc, c]).expect("valid fanin");
+    n.mark_output(x).expect("driven signal");
+    n.annotate_loads(library);
+    n.validate().expect("fixture is structurally valid");
+    n
+}
+
+/// A single-input chain of `len` inverters (`len >= 1`), output at the
+/// end. Depth equals `len`, so a unit-delay simulation needs `len + 1`
+/// steps to observe quiescence — the canonical way to drive
+/// `NonSettling` with a tightened step bound.
+#[must_use]
+pub fn inverter_chain(len: usize, library: &Library) -> Netlist {
+    assert!(len >= 1, "a chain needs at least one inverter");
+    let mut n = Netlist::new("chain");
+    let mut prev = n.add_input("a").expect("fresh signal name");
+    for _ in 0..len {
+        prev = n.add_gate(CellKind::Inv, &[prev]).expect("valid fanin");
+    }
+    n.mark_output(prev).expect("driven signal");
+    n.annotate_loads(library);
+    n.validate().expect("fixture is structurally valid");
+    n
+}
+
+/// `y = a XOR inv(inv(a))` — logically constant 0, but the two paths
+/// from `a` to the XOR have unequal depth, so a rising input glitches
+/// the output under unit-delay timing while the zero-delay model sees
+/// nothing. The canonical reconvergent-fanout glitch fixture.
+#[must_use]
+pub fn reconvergent_glitcher(library: &Library) -> Netlist {
+    let mut n = Netlist::new("glitchy");
+    let a = n.add_input("a").expect("fresh signal name");
+    let i1 = n.add_gate(CellKind::Inv, &[a]).expect("valid fanin");
+    let i2 = n.add_gate(CellKind::Inv, &[i1]).expect("valid fanin");
+    let y = n.add_gate(CellKind::Xor2, &[a, i2]).expect("valid fanin");
+    n.mark_output(y).expect("driven signal");
+    n.annotate_loads(library);
+    n.validate().expect("fixture is structurally valid");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_well_formed() {
+        let lib = Library::test_library();
+        let hand = hand_unit(&lib);
+        assert_eq!(hand.num_inputs(), 3);
+        assert_eq!(hand.num_gates(), 3);
+        let chain = inverter_chain(4, &lib);
+        assert_eq!(chain.depth(), 4);
+        let glitchy = reconvergent_glitcher(&lib);
+        assert_eq!(glitchy.num_inputs(), 1);
+        assert_eq!(glitchy.num_gates(), 3);
+    }
+}

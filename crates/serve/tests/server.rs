@@ -532,3 +532,162 @@ fn malformed_lines_get_typed_bad_request_responses() {
     client.request(&Request::Shutdown).expect("shutdown");
     server.wait();
 }
+
+/// Every counter in the `stats` payload reconciles exactly against a
+/// scripted single-connection session: per-command tallies sum to
+/// `accepted`, completed + errors accounts for every response (modulo
+/// the in-flight stats request itself), the batch-fill histogram sums
+/// to the batch count, and the registry reports exactly one cold
+/// resolve (two misses: the pre- and post-build-lock probes) plus one
+/// warm hit per follow-up request.
+#[test]
+fn stats_counters_reconcile_after_scripted_session() {
+    let server = Server::start(test_config()).expect("binds");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connects");
+
+    let options = WireBuildOptions::default();
+    // 1. Cold load: 2 registry misses (double-checked build lock).
+    assert!(matches!(
+        client
+            .request(&Request::Load {
+                source: "decod".to_owned(),
+                options: options.clone(),
+            })
+            .expect("load"),
+        Response::Load { .. }
+    ));
+    // 2-3. Two warm evals, 4. one warm trace: 3 hits, 3 batched jobs.
+    for seed in [1u64, 2] {
+        assert!(matches!(
+            client
+                .request(&Request::Eval {
+                    source: "decod".to_owned(),
+                    options: options.clone(),
+                    params: eval_params(16, seed),
+                })
+                .expect("eval"),
+            Response::Eval { .. }
+        ));
+    }
+    assert!(matches!(
+        client
+            .request(&Request::Trace {
+                source: "decod".to_owned(),
+                options: options.clone(),
+                params: eval_params(16, 3),
+            })
+            .expect("trace"),
+        Response::Trace { .. }
+    ));
+    // 5. Expected: warm hit, analytic path (not batched).
+    assert!(matches!(
+        client
+            .request(&Request::Expected {
+                source: "decod".to_owned(),
+                sp: 0.5,
+                st: 0.4,
+            })
+            .expect("expected"),
+        Response::Expected { .. }
+    ));
+    // 6. A load that parses but cannot build: accepted, then an error
+    // (and two more registry misses from the failed resolve).
+    assert!(matches!(
+        client
+            .request(&Request::Load {
+                source: "no-such-bench-zzz".to_owned(),
+                options,
+            })
+            .expect("responds"),
+        Response::Error { .. }
+    ));
+    // 7. A malformed line: an error that was never *accepted* (it dies
+    // before command dispatch), so it must not disturb per_command.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let stream = std::net::TcpStream::connect(&addr).expect("connects");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "this is not json").expect("writes");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reads");
+        assert!(matches!(
+            Response::parse_line(line.trim_end()).expect("parses"),
+            Response::Error {
+                kind: ErrorKind::BadRequest,
+                ..
+            }
+        ));
+    }
+
+    // 8. Snapshot. The stats request itself is already counted as
+    // accepted, but its completion lands only after the snapshot.
+    let Response::Stats(stats) = client.request(&Request::Stats).expect("stats") else {
+        panic!("stats request failed");
+    };
+    let get = |key: &str| -> u64 {
+        stats
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("stats payload missing `{key}`: {stats:?}"))
+    };
+    let per = stats.get("per_command").expect("per_command");
+    let per_cmd = |key: &str| -> u64 { per.get(key).and_then(|v| v.as_u64()).expect("per-cmd") };
+
+    assert_eq!(per_cmd("load"), 2);
+    assert_eq!(per_cmd("eval"), 2);
+    assert_eq!(per_cmd("trace"), 1);
+    assert_eq!(per_cmd("expected"), 1);
+    assert_eq!(per_cmd("stats"), 1);
+    assert_eq!(per_cmd("shutdown"), 0);
+    let per_sum: u64 = ["load", "eval", "trace", "expected", "stats", "shutdown"]
+        .iter()
+        .map(|c| per_cmd(c))
+        .sum();
+    assert_eq!(get("accepted"), per_sum, "accepted = sum of per-command");
+
+    // 5 ok responses before the snapshot; 2 errors (failed build +
+    // malformed line); the in-flight stats request is accepted but not
+    // yet completed; nothing was shed in a calm sequential session.
+    assert_eq!(get("completed"), 5);
+    assert_eq!(get("errors"), 2);
+    assert_eq!(get("shed"), 0);
+    assert_eq!(
+        get("completed") + get("errors") + 1,
+        get("accepted") + 1,
+        "every accepted request except the in-flight stats resolved; \
+         the malformed line added an error without an acceptance"
+    );
+
+    // Exactly the three eval/trace jobs went through the dispatcher, in
+    // at least one and at most three micro-batches, and the fill
+    // histogram files one entry per executed batch.
+    assert_eq!(get("batched_requests"), 3);
+    let batches = get("batches");
+    assert!((1..=3).contains(&batches), "batches = {batches}");
+    let fill_sum: u64 = match stats.get("batch_fill") {
+        Some(charfree_serve::json::Json::Arr(cells)) => {
+            cells.iter().filter_map(|v| v.as_u64()).sum()
+        }
+        other => panic!("batch_fill missing or mistyped: {other:?}"),
+    };
+    assert_eq!(fill_sum, batches, "one fill sample per executed batch");
+
+    // Registry: one resident model; 1 cold resolve (2 misses) + 1
+    // failed resolve (2 misses) + 4 warm resolves (1 hit each).
+    let registry = stats.get("registry").expect("registry");
+    let reg = |key: &str| -> u64 {
+        registry
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .expect("registry field")
+    };
+    assert_eq!(reg("entries"), 1);
+    assert_eq!(reg("hits"), 4);
+    assert_eq!(reg("misses"), 4);
+    assert_eq!(reg("evictions"), 0);
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    server.wait();
+}

@@ -284,7 +284,7 @@ mod tests {
     use super::*;
     use crate::ZeroDelaySim;
     use charfree_netlist::benchmarks::{self, paper_unit};
-    use charfree_netlist::{CellKind, Library};
+    use charfree_netlist::Library;
 
     #[test]
     fn no_glitches_on_balanced_unit() {
@@ -308,13 +308,7 @@ mod tests {
         // y = a XOR (a inverted twice) is constant 0 but glitches when a
         // rises: the direct path switches the XOR before the 2-inverter
         // path catches up.
-        let mut n = charfree_netlist::Netlist::new("glitchy");
-        let a = n.add_input("a").expect("fresh");
-        let i1 = n.add_gate(CellKind::Inv, &[a]).expect("ok");
-        let i2 = n.add_gate(CellKind::Inv, &[i1]).expect("ok");
-        let y = n.add_gate(CellKind::Xor2, &[a, i2]).expect("ok");
-        n.mark_output(y).expect("ok");
-        n.annotate_loads(&Library::test_library());
+        let n = charfree_netlist::testutil::reconvergent_glitcher(&Library::test_library());
 
         let ud = UnitDelaySim::new(&n);
         let r = ud.simulate_transition(&[false], &[true]);
@@ -386,12 +380,7 @@ mod tests {
     fn non_settling_bound_is_an_error_not_a_panic() {
         // A 2-inverter chain needs 2 steps (+1 to observe quiescence) after
         // an input flip; a bound of 1 cannot settle it.
-        let mut n = charfree_netlist::Netlist::new("chain");
-        let a = n.add_input("a").expect("fresh");
-        let i1 = n.add_gate(CellKind::Inv, &[a]).expect("ok");
-        let i2 = n.add_gate(CellKind::Inv, &[i1]).expect("ok");
-        n.mark_output(i2).expect("ok");
-        n.annotate_loads(&Library::test_library());
+        let n = charfree_netlist::testutil::inverter_chain(2, &Library::test_library());
 
         let ud = UnitDelaySim::new(&n).with_max_steps(1);
         let e = ud

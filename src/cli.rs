@@ -69,6 +69,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "throughput" => cmd_throughput(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
+        "conform" => cmd_conform(rest),
         "--help" | "-h" | "help" => Ok(usage("")),
         other => Err(usage(&format!("unknown subcommand `{other}`"))),
     }
@@ -106,6 +107,8 @@ fn usage(prefix: &str) -> String {
          \x20 charfree client <load|eval|trace|expected|stats|shutdown> [operand]\n\
          \x20                [--addr HOST:PORT] [--deadline-ms N] [eval/trace flags]\n\
          \x20                [build flags: --max N --node-budget N --strict --upper-bound]\n\
+         \x20 charfree conform [--cases N] [--seed S] [--vectors N] [--corpus DIR]\n\
+         \x20                [--shrink] [--no-serve] [--no-campaigns]\n\
          \n\
          every building/evaluating subcommand also takes\n\
          \x20                [--cache-dir DIR] [--telemetry json]\n\
@@ -1024,6 +1027,47 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Parses a seed flag accepting both decimal and `0x`-prefixed hex
+/// (`--seed 0xC0FFEE` is the documented CI invocation).
+fn parse_seed(flags: &mut Flags<'_>, name: &str, default: u64) -> Result<u64, CliError> {
+    match flags.value(name)? {
+        None => Ok(default),
+        Some(v) => {
+            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.map_err(|_| format!("bad value `{v}` for `{name}`"))
+        }
+    }
+}
+
+fn cmd_conform(args: &[String]) -> Result<String, CliError> {
+    let mut flags = Flags::new(args);
+    let cases = flags.parse("--cases", 64usize)?;
+    let seed = parse_seed(&mut flags, "--seed", 0xC0FFEE)?;
+    let vectors = flags.parse("--vectors", 48usize)?;
+    let corpus = flags.value("--corpus")?.map(std::path::PathBuf::from);
+    let shrink = flags.flag("--shrink");
+    let serve = !flags.flag("--no-serve");
+    let campaigns = !flags.flag("--no-campaigns");
+    flags.finish()?;
+    let workdir = std::env::temp_dir().join(format!("charfree-conform-{}", std::process::id()));
+    let config = charfree_conform::ConformConfig {
+        cases,
+        seed,
+        vectors,
+        corpus,
+        shrink,
+        serve,
+        campaigns,
+        workdir: workdir.clone(),
+    };
+    let result = charfree_conform::run(&config);
+    let _ = fs::remove_dir_all(&workdir);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1037,6 +1081,25 @@ mod tests {
         assert!(run(&s(&["help"])).expect("help works").contains("usage"));
         assert!(run(&s(&["frobnicate"])).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn conform_subcommand_runs_a_tiny_sweep() {
+        let report = run(&s(&[
+            "conform",
+            "--cases",
+            "2",
+            "--seed",
+            "0xC0FFEE",
+            "--vectors",
+            "8",
+            "--no-serve",
+            "--no-campaigns",
+        ]))
+        .expect("tiny sweep passes");
+        assert!(report.contains("2 generated cases"), "report: {report}");
+        assert!(run(&s(&["conform", "--seed", "0xZZ"])).is_err());
+        assert!(run(&s(&["conform", "--frobnicate"])).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Cross-crate integration: analytical models against the golden-model
 //! simulator, exhaustively where feasible.
 
-use charfree::netlist::{benchmarks, CellKind, Library, Netlist};
+use charfree::netlist::{benchmarks, testutil, Library, Netlist};
 use charfree::sim::{ExhaustivePairs, ZeroDelaySim};
 use charfree::{ApproxStrategy, InputOrder, ModelBuilder, PowerModel, VariableOrdering};
 
@@ -156,18 +156,10 @@ fn worst_case_transition_is_simulatable() {
 
 #[test]
 fn hand_built_netlist_full_flow() {
-    // Build a netlist by hand, exercise every structural API on the way.
+    // The shared hand-built fixture exercises every structural API
+    // (multi-fanout, a complex cell, load annotation, validation).
     let library = Library::test_library();
-    let mut n = Netlist::new("hand");
-    let a = n.add_input("a").expect("fresh");
-    let b = n.add_input("b").expect("fresh");
-    let c = n.add_input("c").expect("fresh");
-    let ab = n.add_gate(CellKind::Nand2, &[a, b]).expect("ok");
-    let abc = n.add_gate(CellKind::Oai21, &[ab, c, a]).expect("ok");
-    let x = n.add_gate(CellKind::Xor2, &[abc, c]).expect("ok");
-    n.mark_output(x).expect("ok");
-    n.annotate_loads(&library);
-    n.validate().expect("valid");
+    let n = testutil::hand_unit(&library);
 
     let sim = ZeroDelaySim::new(&n);
     let model = ModelBuilder::new(&n).build();

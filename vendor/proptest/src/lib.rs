@@ -309,14 +309,32 @@ tuple_strategy! {
     (A, B, C, D, E)
 }
 
+/// The effective case count: the `PROPTEST_CASES` environment variable
+/// (upstream's knob, honored here too so CI can deepen every suite
+/// without touching source) overrides the per-test configuration when it
+/// parses to a positive integer; anything else is ignored.
+fn effective_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => configured,
+        },
+        Err(_) => configured,
+    }
+}
+
 /// Drives one property: generates cases until `config.cases` accepted
-/// cases pass, panicking on the first failure. Deterministic per test
-/// name. Called by the expansion of [`proptest!`]; not meant for direct
-/// use.
+/// cases pass (or `PROPTEST_CASES` accepted cases when that environment
+/// variable is set to a positive integer), panicking on the first
+/// failure. Deterministic per test name. Called by the expansion of
+/// [`proptest!`]; not meant for direct use.
 pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
+    let config = ProptestConfig {
+        cases: effective_cases(config.cases),
+    };
     // FNV-1a over the test name keeps streams stable across runs and
     // independent across tests.
     let mut seed = 0xcbf2_9ce4_8422_2325u64;
@@ -466,6 +484,27 @@ macro_rules! prop_oneof {
 mod tests {
     use crate::prelude::*;
     use crate::TestRng;
+
+    #[test]
+    fn proptest_cases_env_overrides_only_when_sane() {
+        // All scenarios in one test: the variable is process-global, so
+        // splitting these across parallel #[test]s would race.
+        let saved = std::env::var("PROPTEST_CASES").ok();
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(crate::effective_cases(32), 32, "unset: passthrough");
+        std::env::set_var("PROPTEST_CASES", "256");
+        assert_eq!(crate::effective_cases(32), 256, "override wins");
+        std::env::set_var("PROPTEST_CASES", " 8 ");
+        assert_eq!(crate::effective_cases(32), 8, "whitespace tolerated");
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(crate::effective_cases(32), 32, "zero is ignored");
+        std::env::set_var("PROPTEST_CASES", "lots");
+        assert_eq!(crate::effective_cases(32), 32, "garbage is ignored");
+        match saved {
+            Some(v) => std::env::set_var("PROPTEST_CASES", v),
+            None => std::env::remove_var("PROPTEST_CASES"),
+        }
+    }
 
     #[test]
     fn ranges_cover_bounds() {
