@@ -28,6 +28,7 @@
 #![deny(clippy::unwrap_used)]
 
 pub mod campaign;
+pub mod chaos;
 pub mod corpus;
 pub mod gen;
 pub mod oracle;
@@ -59,6 +60,11 @@ pub struct ConformConfig {
     pub serve: bool,
     /// Run the fault-injection campaigns after the differential sweep.
     pub campaigns: bool,
+    /// Run the I/O chaos campaign (injected short writes, torn renames,
+    /// stream faults; see [`chaos`]) after the standard campaigns.
+    pub chaos: bool,
+    /// Minimum injected I/O faults the chaos campaign must reach.
+    pub chaos_faults: u64,
     /// Scratch directory (case files, artifact caches).
     pub workdir: PathBuf,
 }
@@ -73,6 +79,8 @@ impl Default for ConformConfig {
             shrink: true,
             serve: true,
             campaigns: true,
+            chaos: false,
+            chaos_faults: 200,
             workdir: std::env::temp_dir().join(format!("charfree-conform-{}", std::process::id())),
         }
     }
@@ -162,14 +170,27 @@ pub fn run(config: &ConformConfig) -> Result<String, String> {
         None
     };
 
+    // Phase 4: I/O chaos (crash-safety and self-healing).
+    let chaos_report = if config.chaos {
+        let chaos_config = chaos::ChaosConfig {
+            seed: config.seed,
+            fault_target: config.chaos_faults,
+        };
+        Some(chaos::run(&chaos_config, &config.workdir.join("chaos"))?)
+    } else {
+        None
+    };
+
     let mut report = String::new();
-    let _ = writeln!(
-        report,
-        "conform: {} generated cases x {} layers agreed bit-for-bit ({} transitions checked)",
-        config.cases,
-        if config.serve { 6 } else { 5 },
-        oracle.transitions
-    );
+    if config.cases > 0 {
+        let _ = writeln!(
+            report,
+            "conform: {} generated cases x {} layers agreed bit-for-bit ({} transitions checked)",
+            config.cases,
+            if config.serve { 6 } else { 5 },
+            oracle.transitions
+        );
+    }
     if replayed > 0 {
         let _ = writeln!(report, "conform: {replayed} corpus repro(s) replayed clean");
     }
@@ -178,6 +199,22 @@ pub fn run(config: &ConformConfig) -> Result<String, String> {
             report,
             "conform: campaigns passed ({} budget trips, {} degraded, {} poisoned entries healed)",
             c.trips, c.degraded, c.healed
+        );
+    }
+    if let Some(c) = chaos_report {
+        let _ = writeln!(
+            report,
+            "conform: chaos campaign passed ({} faults injected, {} bit checks, \
+             {} recoveries, {} quarantined, {} served under faults, {} typed failures, \
+             {} panics supervised, {} breaker denials)",
+            c.injected_faults,
+            c.bit_checks,
+            c.recoveries,
+            c.quarantined,
+            c.served_ok,
+            c.typed_failures,
+            c.worker_panics,
+            c.breaker_denials
         );
     }
     oracle.finish();

@@ -34,6 +34,8 @@ fn bounded_sweep_passes_all_layers() {
         shrink: true,
         serve: true,
         campaigns: true,
+        chaos: false,
+        chaos_faults: 200,
         workdir: dir.clone(),
     };
     let report = run(&config).expect("all layers agree");

@@ -38,11 +38,13 @@
 #![deny(clippy::unwrap_used)]
 
 mod error;
+pub mod faultio;
 pub mod store;
 pub mod telemetry;
 
 pub use error::PipelineError;
-pub use store::{ArtifactKey, ArtifactStore, CacheLookup};
+pub use faultio::{FaultConfig, FaultIo, FaultPlan, RealIo, StreamFault, StreamOp};
+pub use store::{ArtifactKey, ArtifactStore, CacheLookup, QuarantinedEntry, RecoveryReport};
 pub use telemetry::{ArtifactKind, Event, Stage, Telemetry};
 
 use charfree_core::{AddPowerModel, ApproxStrategy, ModelBuilder};

@@ -29,6 +29,7 @@
 //! a full queue instead of blocking the connection thread.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -41,6 +42,20 @@ use crate::stats::ServerStats;
 /// Cap on how many jobs one window may coalesce, bounding the memory a
 /// single micro-batch can pin.
 const MAX_BATCH_JOBS: usize = 256;
+
+/// First restart delay after a worker panic.
+const RESTART_BACKOFF_BASE: Duration = Duration::from_millis(5);
+
+/// Ceiling for the exponentially growing restart delay.
+const RESTART_BACKOFF_CAP: Duration = Duration::from_millis(250);
+
+/// An injected failure a job carries for supervision tests and the
+/// conform `chaos` campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobFault {
+    /// The executing worker panics before evaluating the batch.
+    PanicInWorker,
+}
 
 /// One evaluation request, ready to batch.
 pub struct Job {
@@ -56,6 +71,8 @@ pub struct Job {
     /// Where the result goes (capacity-1 channel owned by the
     /// connection thread).
     pub reply: SyncSender<Result<JobOutput, JobError>>,
+    /// Injected fault for supervision testing; `None` in production.
+    pub fault: Option<JobFault>,
 }
 
 /// A completed job.
@@ -219,6 +236,7 @@ fn coordinate(rx: Receiver<Job>, batch_tx: SyncSender<MicroBatch>, window: Durat
 }
 
 fn work(batch_rx: &Mutex<Receiver<MicroBatch>>, stats: &ServerStats) {
+    let mut consecutive_panics: u32 = 0;
     loop {
         // Hold the lock only for the receive so idle workers queue up
         // behind it rather than serializing evaluation.
@@ -230,7 +248,20 @@ fn work(batch_rx: &Mutex<Receiver<MicroBatch>>, stats: &ServerStats) {
             Ok(batch) => batch,
             Err(_) => return, // coordinator exited
         };
-        execute(&kernel, jobs, stats);
+        // Supervision: a panicking batch must not take the worker down.
+        // The panic unwinds past the jobs' reply senders, so every
+        // waiting connection observes a disconnected channel and
+        // responds with a typed, retriable error — then the worker
+        // restarts after a capped exponential backoff.
+        match catch_unwind(AssertUnwindSafe(|| execute(&kernel, jobs, stats))) {
+            Ok(()) => consecutive_panics = 0,
+            Err(_) => {
+                stats.record_worker_panic();
+                let factor = 1u32 << consecutive_panics.min(16);
+                thread::sleep((RESTART_BACKOFF_BASE * factor).min(RESTART_BACKOFF_CAP));
+                consecutive_panics = consecutive_panics.saturating_add(1);
+            }
+        }
     }
 }
 
@@ -247,6 +278,12 @@ fn execute(kernel: &Kernel, jobs: Vec<Job>, stats: &ServerStats) {
     }
     if live.is_empty() {
         return;
+    }
+    if live
+        .iter()
+        .any(|job| job.fault == Some(JobFault::PanicInWorker))
+    {
+        panic!("injected worker fault (JobFault::PanicInWorker)");
     }
 
     let mut block = PatternBlock::new(kernel.num_vars() as usize);
@@ -325,6 +362,7 @@ mod tests {
                 want_values: *want_values,
                 deadline: None,
                 reply: reply_tx,
+                fault: None,
             };
             assert!(handle.try_submit(job).is_ok());
             replies.push(reply_rx);
@@ -368,6 +406,7 @@ mod tests {
             want_values: false,
             deadline: Some(Instant::now() - Duration::from_millis(1)),
             reply: reply_tx,
+            fault: None,
         };
         assert!(handle.try_submit(job).is_ok());
         match reply_rx.recv().expect("reply arrives") {
@@ -396,6 +435,7 @@ mod tests {
                 want_values: false,
                 deadline: None,
                 reply: reply_tx,
+                fault: None,
             };
             match handle.try_submit(job) {
                 Ok(()) => kept_replies.push(reply_rx),
@@ -410,6 +450,57 @@ mod tests {
                 .expect("accepted job completes")
                 .is_ok());
         }
+        drop(handle);
+        dispatcher.shutdown();
+    }
+
+    #[test]
+    fn worker_panics_are_supervised_and_later_jobs_still_complete() {
+        let decod = kernel_for(benchmarks::decod);
+        let stats = Arc::new(ServerStats::new());
+        // A single worker: if the panic killed it for good, the healthy
+        // jobs below would hang instead of completing.
+        let dispatcher = Dispatcher::start(1, Duration::ZERO, 16, Arc::clone(&stats));
+        let handle = dispatcher.handle();
+
+        for round in 0..3u64 {
+            // A poisoned job: its reply channel must disconnect (typed
+            // error at the connection layer), not hang.
+            let (poison_tx, poison_rx) = sync_channel(1);
+            let poison = Job {
+                kernel: Arc::clone(&decod),
+                patterns: patterns_for(&decod, 10, 100 + round),
+                want_values: false,
+                deadline: None,
+                reply: poison_tx,
+                fault: Some(JobFault::PanicInWorker),
+            };
+            assert!(handle.try_submit(poison).is_ok());
+            assert!(
+                poison_rx.recv_timeout(Duration::from_secs(30)).is_err(),
+                "panicked batch must drop its replies"
+            );
+
+            // The restarted worker evaluates the next job bit-exactly.
+            let (reply_tx, reply_rx) = sync_channel(1);
+            let job = Job {
+                kernel: Arc::clone(&decod),
+                patterns: patterns_for(&decod, 50, round),
+                want_values: false,
+                deadline: None,
+                reply: reply_tx,
+                fault: None,
+            };
+            assert!(handle.try_submit(job).is_ok());
+            let got = reply_rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("restarted worker replies")
+                .expect("job evaluates");
+            let patterns = patterns_for(&decod, 50, round);
+            let offline = TraceEngine::new(&decod).evaluate(&patterns);
+            assert_eq!(got.summary.sum_ff.to_bits(), offline.sum_ff.to_bits());
+        }
+        assert_eq!(stats.worker_panics(), 3);
         drop(handle);
         dispatcher.shutdown();
     }

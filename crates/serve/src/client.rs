@@ -1,4 +1,4 @@
-//! Blocking client for the wire protocol.
+//! Blocking client for the wire protocol, with optional retry/backoff.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -10,9 +10,78 @@ use crate::proto::{Request, Response};
 /// cold build of a large benchmark is the slow path this must cover).
 const RESPONSE_TIMEOUT: Duration = Duration::from_secs(600);
 
+/// Retry behavior for [`Client::request_with_retries`].
+///
+/// A request is retried when the server sheds it with a retriable typed
+/// error (`overloaded`, `draining`, `model-unavailable` — see
+/// [`crate::ErrorKind::retriable`]), when any error response carries a
+/// `retry_after_ms` hint, or when the transport itself drops
+/// mid-request (the client reconnects first). Definitive failures
+/// (`bad-request`, `build-failed`, …) are never retried.
+///
+/// The wait before attempt *n* is `max(server hint, base·2ⁿ)` capped at
+/// `cap`, with deterministic "equal jitter" (half fixed, half hashed
+/// from `seed` and the attempt number) so a thundering herd of shed
+/// clients decorrelates without a global RNG.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = current single-shot
+    /// behavior).
+    pub retries: u32,
+    /// First backoff step.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Jitter seed; vary per client to decorrelate retry storms.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            retries: 0,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered wait before retry `attempt` (0-based), honoring the
+    /// server's `retry_after_ms` hint as a floor.
+    fn backoff(&self, attempt: u32, hint_ms: Option<u64>) -> Duration {
+        let factor = 1u32 << attempt.min(16);
+        let exp = (self.base * factor).min(self.cap);
+        let floor = Duration::from_millis(hint_ms.unwrap_or(0));
+        let wait = exp.max(floor);
+        // Equal jitter: half the wait is fixed, half is a deterministic
+        // hash of (seed, attempt).
+        let half_ms = wait.as_millis().max(2) as u64 / 2;
+        let jitter = charfree_pipeline::faultio::splitmix64(self.seed ^ (u64::from(attempt) << 32))
+            % (half_ms + 1);
+        Duration::from_millis(half_ms + jitter)
+    }
+}
+
+/// Is this transport error worth a reconnect-and-retry? Connection
+/// drops mid-request (a draining or restarting server) qualify; local
+/// configuration errors and malformed responses do not.
+fn reconnectable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionRefused
+    )
+}
+
 /// A blocking connection to a `charfree serve` instance; requests are
 /// answered in order on one socket.
 pub struct Client {
+    addr: String,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
@@ -29,6 +98,7 @@ impl Client {
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
+            addr: addr.to_owned(),
             reader: BufReader::new(stream),
             writer,
         })
@@ -53,5 +123,94 @@ impl Client {
         }
         Response::parse_line(line.trim_end())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends one request, retrying retriable shed responses and dropped
+    /// connections per `policy`. With `policy.retries == 0` this is
+    /// exactly [`Client::request`].
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's failure, after the retry budget is spent.
+    pub fn request_with_retries(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+    ) -> io::Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request(request);
+            let hint = match &outcome {
+                Ok(Response::Error {
+                    kind,
+                    retry_after_ms,
+                    ..
+                }) if kind.retriable() || retry_after_ms.is_some() => Some(*retry_after_ms),
+                Err(e) if reconnectable(e) => Some(None),
+                _ => return outcome,
+            };
+            if attempt >= policy.retries {
+                return outcome;
+            }
+            let hint = hint.unwrap_or(None);
+            std::thread::sleep(policy.backoff(attempt, hint));
+            attempt += 1;
+            if outcome.is_err() {
+                // The transport died; rebuild it before retrying. If the
+                // server is still down, keep burning the retry budget on
+                // the connect error.
+                match Client::connect(&self.addr) {
+                    Ok(fresh) => *self = fresh,
+                    Err(_) => continue,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_honors_the_server_hint() {
+        let policy = RetryPolicy {
+            retries: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(80),
+            seed: 7,
+        };
+        // Deterministic per (seed, attempt).
+        assert_eq!(policy.backoff(0, None), policy.backoff(0, None));
+        // Grows, then caps: every wait is within [half, full] of the
+        // capped exponential.
+        for attempt in 0..6 {
+            let wait = policy.backoff(attempt, None);
+            let exp = (policy.base * (1 << attempt)).min(policy.cap);
+            assert!(wait <= exp, "attempt {attempt}: {wait:?} > {exp:?}");
+            assert!(
+                wait >= exp / 2 - Duration::from_millis(1),
+                "attempt {attempt}: {wait:?} below half of {exp:?}"
+            );
+        }
+        // A server hint above the exponential floors the wait.
+        let hinted = policy.backoff(0, Some(500));
+        assert!(hinted >= Duration::from_millis(250), "{hinted:?}");
+    }
+
+    #[test]
+    fn reconnectable_errors_are_the_transport_drops() {
+        for kind in [
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::BrokenPipe,
+        ] {
+            assert!(reconnectable(&io::Error::new(kind, "x")), "{kind:?}");
+        }
+        assert!(!reconnectable(&io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed response"
+        )));
     }
 }

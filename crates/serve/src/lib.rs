@@ -18,6 +18,14 @@
 //!   queues everywhere, typed `overloaded` shedding with
 //!   `retry_after_ms`, and a `shutdown` command that stops accepting,
 //!   flushes every accepted request and lets the process exit 0.
+//!   SIGTERM/SIGINT trigger the same drain on unix.
+//! * **Supervision and self-healing** ([`supervisor`], [`batch`]):
+//!   worker panics are caught and the worker restarts under capped
+//!   exponential backoff; repeated model-build failures trip a
+//!   per-model circuit breaker that sheds doomed builds with a typed
+//!   `model-unavailable` + `retry_after_ms` and half-opens on a timer;
+//!   the artifact cache is journaled and recovers (quarantining torn
+//!   entries) at startup.
 
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used)]
@@ -29,10 +37,12 @@ pub mod proto;
 pub mod registry;
 pub mod server;
 pub mod stats;
+pub mod supervisor;
 
-pub use batch::{BatchHandle, Dispatcher, Job, JobError, JobOutput};
-pub use client::Client;
+pub use batch::{BatchHandle, Dispatcher, Job, JobError, JobFault, JobOutput};
+pub use client::{Client, RetryPolicy};
 pub use proto::{ErrorKind, Request, Response, WireBuildOptions, WireEvalParams};
 pub use registry::ModelRegistry;
-pub use server::{ServeConfig, Server};
+pub use server::{DrainHandle, ServeConfig, Server};
 pub use stats::ServerStats;
+pub use supervisor::{BreakerConfig, BreakerDecision, CircuitBreaker};

@@ -273,6 +273,9 @@ pub enum ErrorKind {
     Unsupported,
     /// The server is draining and no longer accepts work.
     Draining,
+    /// The model's build circuit breaker is open after repeated build
+    /// failures; retry after `retry_after_ms`.
+    ModelUnavailable,
     /// Anything else (I/O on the server side, poisoned state).
     Internal,
 }
@@ -287,6 +290,7 @@ impl ErrorKind {
             ErrorKind::DeadlineExceeded => "deadline-exceeded",
             ErrorKind::Unsupported => "unsupported",
             ErrorKind::Draining => "draining",
+            ErrorKind::ModelUnavailable => "model-unavailable",
             ErrorKind::Internal => "internal",
         }
     }
@@ -299,8 +303,18 @@ impl ErrorKind {
             "deadline-exceeded" => ErrorKind::DeadlineExceeded,
             "unsupported" => ErrorKind::Unsupported,
             "draining" => ErrorKind::Draining,
+            "model-unavailable" => ErrorKind::ModelUnavailable,
             _ => ErrorKind::Internal,
         }
+    }
+
+    /// Is this failure transient from the client's point of view —
+    /// worth retrying against the same server after a backoff?
+    pub fn retriable(self) -> bool {
+        matches!(
+            self,
+            ErrorKind::Overloaded | ErrorKind::Draining | ErrorKind::ModelUnavailable
+        )
     }
 }
 
@@ -689,10 +703,23 @@ mod tests {
             ErrorKind::DeadlineExceeded,
             ErrorKind::Unsupported,
             ErrorKind::Draining,
+            ErrorKind::ModelUnavailable,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::from_name(kind.name()), kind);
         }
+    }
+
+    #[test]
+    fn retriable_kinds_are_exactly_the_transient_ones() {
+        assert!(ErrorKind::Overloaded.retriable());
+        assert!(ErrorKind::Draining.retriable());
+        assert!(ErrorKind::ModelUnavailable.retriable());
+        assert!(!ErrorKind::BadRequest.retriable());
+        assert!(!ErrorKind::BuildFailed.retriable());
+        assert!(!ErrorKind::DeadlineExceeded.retriable());
+        assert!(!ErrorKind::Unsupported.retriable());
+        assert!(!ErrorKind::Internal.retriable());
     }
 
     #[test]

@@ -128,6 +128,26 @@ impl ModelRegistry {
             self.evictions.load(Ordering::Relaxed),
         )
     }
+
+    /// Reconciles the running `resident_bytes` ledger against a fresh
+    /// sum over the live entries. A mismatch means bytes were
+    /// double-freed or leaked across an insert/evict race.
+    ///
+    /// # Errors
+    ///
+    /// Describes the divergence (ledger vs. recomputed).
+    pub fn verify_ledger(&self) -> Result<(), String> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let recomputed: usize = inner.entries.values().map(|e| e.bytes).sum();
+        if recomputed == inner.resident_bytes {
+            Ok(())
+        } else {
+            Err(format!(
+                "registry ledger diverged: resident_bytes={} but entries sum to {}",
+                inner.resident_bytes, recomputed
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -185,5 +205,76 @@ mod tests {
         let (entries, bytes, _, _, _) = reg.stats();
         assert_eq!(entries, 1);
         assert_eq!(bytes, a.bytes());
+        reg.verify_ledger().expect("ledger reconciles");
+    }
+
+    #[test]
+    fn concurrent_load_eval_races_never_corrupt_the_ledger_or_inflight_work() {
+        use charfree_engine::TraceEngine;
+        use charfree_sim::MarkovSource;
+
+        let kernels: Vec<Arc<Kernel>> = vec![
+            kernel_for(benchmarks::decod),
+            kernel_for(benchmarks::cm85),
+            kernel_for(benchmarks::mux),
+        ];
+        // Budget fits barely one kernel, so every insert storm evicts —
+        // the worst case for ledger accounting.
+        let budget = kernels.iter().map(|k| k.bytes()).min().unwrap_or(1);
+        let reg = ModelRegistry::new(budget);
+        // Offline references, computed once.
+        let patterns: Vec<Vec<Vec<bool>>> = kernels
+            .iter()
+            .map(|k| {
+                MarkovSource::new(k.num_inputs(), 0.5, 0.4, 11)
+                    .expect("feasible")
+                    .sequence(40)
+            })
+            .collect();
+        let reference: Vec<u64> = kernels
+            .iter()
+            .zip(&patterns)
+            .map(|(k, p)| TraceEngine::new(k).evaluate(p).sum_ff.to_bits())
+            .collect();
+
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let reg = &reg;
+                let kernels = &kernels;
+                let patterns = &patterns;
+                let reference = &reference;
+                scope.spawn(move || {
+                    for round in 0..200usize {
+                        let i = (t + round) % kernels.len();
+                        let key = format!("k{i}");
+                        // Model resolution under churn: get-or-insert,
+                        // exactly like the server's resolve().
+                        let kernel = match reg.get(&key) {
+                            Some(kernel) => kernel,
+                            None => {
+                                let kernel = Arc::clone(&kernels[i]);
+                                reg.insert(&key, Arc::clone(&kernel));
+                                kernel
+                            }
+                        };
+                        // "Mid-batch eviction": other threads' inserts
+                        // will evict this key while we still hold the
+                        // Arc. Evaluation must stay bit-exact.
+                        let got = TraceEngine::new(&kernel).evaluate(&patterns[i]);
+                        assert_eq!(got.sum_ff.to_bits(), reference[i], "kernel {i}");
+                    }
+                });
+            }
+        });
+
+        reg.verify_ledger().expect("ledger reconciles after churn");
+        let (entries, bytes, hits, misses, evictions) = reg.stats();
+        assert!(entries >= 1);
+        assert!(evictions > 0, "budget pressure must have evicted");
+        assert!(hits + misses >= 800, "every round probed the registry");
+        // The ledger never exceeds budget by more than the one exempt
+        // (just-inserted) entry allows.
+        let max_kernel = kernels.iter().map(|k| k.bytes()).max().unwrap_or(0);
+        assert!(bytes <= budget + max_kernel, "bytes={bytes}");
     }
 }

@@ -31,13 +31,16 @@ use std::time::{Duration, Instant};
 
 use charfree_engine::Kernel;
 use charfree_netlist::Library;
-use charfree_pipeline::{ArtifactStore, BuildOptions, PipelineCtx, PipelineError, Source};
+use charfree_pipeline::{
+    ArtifactStore, BuildOptions, FaultIo, PipelineCtx, PipelineError, Source, StreamFault, StreamOp,
+};
 use charfree_sim::MarkovSource;
 
 use crate::batch::{BatchHandle, Dispatcher, Job, JobError};
 use crate::proto::{ErrorKind, Request, Response, WireBuildOptions, WireEvalParams};
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
+use crate::supervisor::{BreakerConfig, BreakerDecision, CircuitBreaker};
 
 /// How often a blocked connection read wakes up to check the draining
 /// flag.
@@ -55,6 +58,10 @@ const RETRY_AFTER_MS: u64 = 25;
 /// timeout a client that connects but never reads could fill the kernel
 /// send buffer and stall the accept loop for everyone.
 const REJECT_WRITE_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Ceiling on an injected stream stall, so a mis-tuned fault plan can
+/// slow a connection but never wedge it past its timeouts.
+const MAX_INJECTED_STALL: Duration = Duration::from_millis(200);
 
 /// Server construction parameters (the `charfree serve` flags).
 pub struct ServeConfig {
@@ -86,6 +93,12 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Structured per-request logging to stderr.
     pub log: bool,
+    /// Per-model build circuit breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Fault-injection layer threaded through the artifact store and
+    /// connection read/write paths (`None` = real I/O). Used by the
+    /// conform `chaos` campaign and resilience tests.
+    pub fault_io: Option<Arc<dyn FaultIo>>,
 }
 
 impl ServeConfig {
@@ -103,6 +116,8 @@ impl ServeConfig {
             idle_timeout: Duration::from_secs(30),
             max_connections: 64,
             log: true,
+            breaker: BreakerConfig::default(),
+            fault_io: None,
         }
     }
 }
@@ -120,6 +135,8 @@ struct Shared {
     conns_cv: Condvar,
     conn_seq: AtomicU64,
     build_lock: Mutex<()>,
+    breaker: CircuitBreaker,
+    fault: Option<Arc<dyn FaultIo>>,
     idle_timeout: Duration,
     log: bool,
     addr: SocketAddr,
@@ -153,8 +170,35 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::new());
+        let store = config.cache_dir.as_ref().map(|dir| {
+            let store = ArtifactStore::new(dir);
+            match &config.fault_io {
+                Some(io) => store.with_io(Arc::clone(io)),
+                None => store,
+            }
+        });
+        // Startup recovery: replay the cache journal, quarantine torn
+        // entries, heal missing commits — before the first request can
+        // warm-load anything.
+        if let Some(store) = &store {
+            match store.recover() {
+                Ok(report) => {
+                    if config.log && !report.is_clean() {
+                        eprintln!("charfree-serve: cache recovery: {}", report.summary());
+                    }
+                }
+                Err(e) => {
+                    // A failed recovery pass degrades to "serve with a
+                    // cold registry": validate-on-load still guards every
+                    // artifact the store hands back.
+                    if config.log {
+                        eprintln!("charfree-serve: cache recovery failed: {e}");
+                    }
+                }
+            }
+        }
         let shared = Arc::new(Shared {
-            store: config.cache_dir.as_ref().map(ArtifactStore::new),
+            store,
             library: config.library,
             registry: ModelRegistry::new(config.model_bytes_budget.max(1)),
             stats: Arc::clone(&stats),
@@ -166,6 +210,8 @@ impl Server {
             conns_cv: Condvar::new(),
             conn_seq: AtomicU64::new(0),
             build_lock: Mutex::new(()),
+            breaker: CircuitBreaker::new(config.breaker),
+            fault: config.fault_io,
             idle_timeout: config.idle_timeout,
             log: config.log,
             addr,
@@ -204,6 +250,21 @@ impl Server {
         begin_drain(&self.shared);
     }
 
+    /// A cloneable handle that can trigger the same drain from another
+    /// thread (e.g. a signal watcher) without owning the server.
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle(Arc::clone(&self.shared))
+    }
+
+    /// Installs SIGTERM/SIGINT handlers that trigger a graceful drain,
+    /// so `kill -TERM <pid>` (or Ctrl-C) behaves exactly like the
+    /// `shutdown` wire command: accepted requests complete, then
+    /// [`Server::wait`] returns and the process can exit 0.
+    #[cfg(unix)]
+    pub fn drain_on_signals(&self) {
+        signal_drain::install(self.drain_handle());
+    }
+
     /// Blocks until the server has fully drained: acceptor joined, every
     /// connection closed, every accepted job flushed through the
     /// dispatcher.
@@ -226,6 +287,68 @@ impl Server {
         if self.shared.log {
             eprintln!("charfree-serve: drained, exiting");
         }
+    }
+}
+
+/// Triggers a graceful drain of the server it was taken from; see
+/// [`Server::drain_handle`].
+#[derive(Clone)]
+pub struct DrainHandle(Arc<Shared>);
+
+impl DrainHandle {
+    /// Flips the draining flag and wakes the acceptor.
+    pub fn request_drain(&self) {
+        begin_drain(&self.0);
+    }
+
+    /// Whether the server is already draining.
+    pub fn is_draining(&self) -> bool {
+        self.0.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// SIGTERM/SIGINT → graceful drain, without a libc dependency: the
+/// handler only sets an atomic flag (the sole async-signal-safe thing a
+/// Rust handler can soundly do), and a watcher thread polls the flag
+/// and runs the actual drain from normal thread context.
+#[cfg(unix)]
+mod signal_drain {
+    use super::DrainHandle;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Once;
+    use std::time::Duration;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+    static INSTALL: Once = Once::new();
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub(super) fn install(handle: DrainHandle) {
+        INSTALL.call_once(|| unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        });
+        let _ = std::thread::Builder::new()
+            .name("charfree-serve-signal".to_owned())
+            .spawn(move || loop {
+                if REQUESTED.load(Ordering::SeqCst) {
+                    handle.request_drain();
+                    return;
+                }
+                if handle.is_draining() {
+                    return; // drained by other means; nothing to watch
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            });
     }
 }
 
@@ -351,8 +474,24 @@ impl LineReader {
             if idle_since.elapsed() > shared.idle_timeout {
                 return ReadOutcome::Closed;
             }
+            let mut cap = 4096usize;
+            if let Some(fault) = shared
+                .fault
+                .as_deref()
+                .and_then(|f| f.stream_fault(StreamOp::Read))
+            {
+                match fault {
+                    // As if the read returned EINTR: retry the tick (the
+                    // drain/idle checks above re-run first).
+                    StreamFault::Transient => continue,
+                    // A short read round: accept only a few bytes.
+                    StreamFault::Short(n) => cap = n.clamp(1, 4096),
+                    // A stalled client: the bytes arrive late.
+                    StreamFault::Stall(d) => thread::sleep(d.min(MAX_INJECTED_STALL)),
+                }
+            }
             let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk) {
+            match self.stream.read(&mut chunk[..cap]) {
                 Ok(0) => return ReadOutcome::Closed,
                 Ok(n) => {
                     if self.pos > 0 {
@@ -437,7 +576,7 @@ fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Shared, handle: B
                 cmd_of(&line)
             ),
         );
-        if writeln!(writer, "{}", response.to_line()).is_err() || writer.flush().is_err() {
+        if write_response(&mut writer, &response.to_line(), shared).is_err() {
             shared.log_line(conn_id, "close reason=write-error");
             return;
         }
@@ -447,6 +586,41 @@ fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Shared, handle: B
             return;
         }
     }
+}
+
+/// Writes one response line, applying any injected write fault. A
+/// [`StreamFault::Short`] splits the line at an injected boundary with a
+/// flush in between — both halves still reach the peer (a short write
+/// is a partial *round*, not lost bytes), which is exactly what a
+/// correct client must reassemble.
+fn write_response(
+    writer: &mut io::BufWriter<TcpStream>,
+    line: &str,
+    shared: &Shared,
+) -> io::Result<()> {
+    if let Some(fault) = shared
+        .fault
+        .as_deref()
+        .and_then(|f| f.stream_fault(StreamOp::Write))
+    {
+        match fault {
+            StreamFault::Stall(d) => thread::sleep(d.min(MAX_INJECTED_STALL)),
+            StreamFault::Short(n) => {
+                let bytes = line.as_bytes();
+                let cut = n.clamp(1, bytes.len());
+                writer.write_all(&bytes[..cut])?;
+                writer.flush()?;
+                writer.write_all(&bytes[cut..])?;
+                writer.write_all(b"\n")?;
+                return writer.flush();
+            }
+            // A real EINTR mid-write is already retried inside
+            // `write_all`; nothing extra to simulate.
+            StreamFault::Transient => {}
+        }
+    }
+    writeln!(writer, "{line}")?;
+    writer.flush()
 }
 
 /// Best-effort command label for the log line (the request may not even
@@ -487,7 +661,7 @@ fn process_line(line: &str, shared: &Shared, handle: &BatchHandle) -> (Response,
     match request {
         Request::Stats => {
             return (
-                Response::Stats(shared.stats.snapshot(&shared.registry)),
+                Response::Stats(shared.stats.snapshot(&shared.registry, &shared.breaker)),
                 false,
             )
         }
@@ -579,6 +753,20 @@ fn resolve(
     if let Some(kernel) = shared.registry.get(&key) {
         return Ok((kernel, 0, true));
     }
+    // Circuit breaker: a model whose builds keep failing is refused
+    // *before* the build lock, so doomed work cannot queue behind it.
+    // An expired open window lets exactly one probe through.
+    match shared.breaker.admit(&key) {
+        BreakerDecision::Allow => {}
+        BreakerDecision::Deny { retry_after_ms } => {
+            shared.stats.record_breaker_denial();
+            return Err(Response::Error {
+                kind: ErrorKind::ModelUnavailable,
+                message: "model build circuit is open after repeated build failures".to_owned(),
+                retry_after_ms: Some(retry_after_ms),
+            });
+        }
+    }
     // Serialize builds: concurrent requests for the same cold model
     // would otherwise burn a full symbolic construction each.
     let _build = shared.build_lock.lock().unwrap_or_else(|e| e.into_inner());
@@ -589,9 +777,21 @@ fn resolve(
     if let Some(store) = &shared.store {
         ctx = ctx.with_store(store.clone());
     }
-    let kernel = ctx
-        .kernel_for(&Source::infer(source))
-        .map_err(|e| error(map_pipeline_error(&e), e.to_string()))?;
+    let kernel = match ctx.kernel_for(&Source::infer(source)) {
+        Ok(kernel) => kernel,
+        Err(e) => {
+            // Deadline-bounded failures are timing-dependent (a doomed
+            // build under one deadline may succeed under none); only
+            // deterministic failures feed the breaker.
+            if options.deadline_ms.is_none() {
+                shared.breaker.record_failure(&key);
+            }
+            return Err(error(map_pipeline_error(&e), e.to_string()));
+        }
+    };
+    if options.deadline_ms.is_none() {
+        shared.breaker.record_success(&key);
+    }
     let applied = ctx.apply_steps();
     let kernel = Arc::new(kernel);
     // A deadline-bounded build is timing-dependent (the degradation
@@ -671,6 +871,7 @@ fn do_eval(
         want_values,
         deadline,
         reply: reply_tx,
+        fault: None,
     };
     if handle.try_submit(job).is_err() {
         shared.stats.record_shed();
@@ -699,7 +900,14 @@ fn do_eval(
         Ok(Err(JobError::DeadlineExceeded)) => {
             error(ErrorKind::DeadlineExceeded, "deadline expired in queue")
         }
-        Err(_) => error(ErrorKind::Internal, "dispatcher dropped the job"),
+        // A dropped reply means the executing worker panicked mid-batch
+        // and the supervisor is restarting it; the request itself was
+        // fine, so the client may retry after a short backoff.
+        Err(_) => Response::Error {
+            kind: ErrorKind::Internal,
+            message: "dispatcher dropped the job (worker restarted); safe to retry".to_owned(),
+            retry_after_ms: Some(RETRY_AFTER_MS),
+        },
     }
 }
 

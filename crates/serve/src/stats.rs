@@ -27,6 +27,8 @@ pub struct ServerStats {
     batch_fill: [AtomicU64; FILL_BUCKETS],
     batches: AtomicU64,
     batched_requests: AtomicU64,
+    worker_panics: AtomicU64,
+    breaker_denials: AtomicU64,
 }
 
 const CMD_NAMES: [&str; 6] = ["load", "eval", "trace", "expected", "stats", "shutdown"];
@@ -48,6 +50,8 @@ impl ServerStats {
             batch_fill: std::array::from_fn(|_| AtomicU64::new(0)),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            breaker_denials: AtomicU64::new(0),
         }
     }
 
@@ -74,6 +78,26 @@ impl ServerStats {
     /// Counts a request shed by admission control.
     pub fn record_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a batch worker panic (the supervisor restarts the worker).
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total batch worker panics so far.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Counts a request denied by an open model circuit breaker.
+    pub fn record_breaker_denial(&self) {
+        self.breaker_denials.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total breaker denials so far.
+    pub fn breaker_denials(&self) -> u64 {
+        self.breaker_denials.load(Ordering::Relaxed)
     }
 
     /// Files one executed micro-batch: how many requests it coalesced
@@ -105,7 +129,11 @@ impl ServerStats {
     }
 
     /// Renders the full snapshot as the `stats` response payload.
-    pub fn snapshot(&self, registry: &crate::registry::ModelRegistry) -> Json {
+    pub fn snapshot(
+        &self,
+        registry: &crate::registry::ModelRegistry,
+        breaker: &crate::supervisor::CircuitBreaker,
+    ) -> Json {
         let latency: [u64; LATENCY_BUCKETS] =
             std::array::from_fn(|i| self.latency_us[i].load(Ordering::Relaxed));
         let per_cmd: Vec<(String, Json)> = CMD_NAMES
@@ -174,6 +202,24 @@ impl ServerStats {
                     ("hits".to_owned(), Json::num(hits)),
                     ("misses".to_owned(), Json::num(misses)),
                     ("evictions".to_owned(), Json::num(evictions)),
+                ]),
+            ),
+            (
+                "resilience".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "worker_panics".to_owned(),
+                        Json::num(self.worker_panics.load(Ordering::Relaxed)),
+                    ),
+                    ("breaker_trips".to_owned(), Json::num(breaker.trips())),
+                    (
+                        "breaker_denials".to_owned(),
+                        Json::num(self.breaker_denials.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "open_circuits".to_owned(),
+                        Json::num(breaker.open_circuits() as u64),
+                    ),
                 ]),
             ),
         ])

@@ -104,11 +104,14 @@ fn usage(prefix: &str) -> String {
          \x20                [--max-inflight N] [--max-vectors N]\n\
          \x20                [--model-bytes-budget BYTES]\n\
          \x20                [--library L.lib] [--cache-dir DIR] [--quiet]\n\
+         \x20                [--breaker-failures K] [--breaker-open-ms MS]\n\
          \x20 charfree client <load|eval|trace|expected|stats|shutdown> [operand]\n\
-         \x20                [--addr HOST:PORT] [--deadline-ms N] [eval/trace flags]\n\
+         \x20                [--addr HOST:PORT] [--deadline-ms N] [--retries N]\n\
+         \x20                [eval/trace flags]\n\
          \x20                [build flags: --max N --node-budget N --strict --upper-bound]\n\
          \x20 charfree conform [--cases N] [--seed S] [--vectors N] [--corpus DIR]\n\
          \x20                [--shrink] [--no-serve] [--no-campaigns]\n\
+         \x20                [--campaign standard|chaos|all] [--chaos-faults N]\n\
          \n\
          every building/evaluating subcommand also takes\n\
          \x20                [--cache-dir DIR] [--telemetry json]\n\
@@ -118,7 +121,11 @@ fn usage(prefix: &str) -> String {
          `--jobs N` needs N >= 1; omit the flag to use one worker per\n\
          available core. results are bit-identical for every worker count.\n\
          `--batch-window` takes `0`, `200us`, `5ms` or `1s`;\n\
-         `--model-bytes-budget` takes plain bytes or a K/M/G suffix.\n",
+         `--model-bytes-budget` takes plain bytes or a K/M/G suffix.\n\
+         `serve` drains gracefully on SIGTERM/SIGINT and exits 0; `client\n\
+         --retries N` retries shed or retriable responses (and reconnects\n\
+         after drops) with capped, jittered exponential backoff honoring\n\
+         the server's retry_after_ms hint.\n",
     );
     out
 }
@@ -795,9 +802,14 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         parse_byte_size(flags.value("--model-bytes-budget")?.unwrap_or("64M"))?;
     let cache_dir = flags.value("--cache-dir")?.map(std::path::PathBuf::from);
     let quiet = flags.flag("--quiet");
+    let breaker_failures: u32 = flags.parse("--breaker-failures", 3)?;
+    let breaker_open_ms: u64 = flags.parse("--breaker-open-ms", 500)?;
     flags.finish()?;
     if max_inflight == 0 {
         return Err("`--max-inflight` must be at least 1".to_owned());
+    }
+    if breaker_failures == 0 {
+        return Err("`--breaker-failures` must be at least 1".to_owned());
     }
     if max_vectors < 2 {
         return Err(
@@ -821,10 +833,21 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         idle_timeout: std::time::Duration::from_secs(30),
         max_connections: 64,
         log: !quiet,
+        breaker: charfree_serve::BreakerConfig {
+            failure_threshold: breaker_failures,
+            open_base: std::time::Duration::from_millis(breaker_open_ms.max(1)),
+            ..charfree_serve::BreakerConfig::default()
+        },
+        fault_io: None,
     };
     let server = charfree_serve::Server::start(config).map_err(|e| format!("serve: {e}"))?;
-    // Blocks until a `shutdown` request drains the server; a clean
-    // return is the protocol's "exited 0".
+    // SIGTERM/SIGINT trigger the same graceful drain a `shutdown`
+    // request does, so orchestrators that kill with a signal still get
+    // a flushed queue and exit code 0.
+    #[cfg(unix)]
+    server.drain_on_signals();
+    // Blocks until the server drains; a clean return is the protocol's
+    // "exited 0".
     server.wait();
     Ok(String::new())
 }
@@ -867,6 +890,15 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
         .value("--addr")?
         .unwrap_or("127.0.0.1:7878")
         .to_owned();
+    // Retries cover shed responses (`overloaded`, `draining`,
+    // `model-unavailable`) and dropped connections, with capped
+    // exponential backoff + jitter honoring the server's retry_after_ms
+    // hint. Default 0 keeps the historical single-shot behavior.
+    let retries: u32 = flags.parse("--retries", 0)?;
+    let policy = charfree_serve::RetryPolicy {
+        retries,
+        ..charfree_serve::RetryPolicy::default()
+    };
     let connect = |addr: &str| {
         charfree_serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
     };
@@ -890,7 +922,11 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
                 },
             };
             let mut client = connect(&addr)?;
-            match expect_ok(client.request(&request).map_err(|e| e.to_string())?)? {
+            match expect_ok(
+                client
+                    .request_with_retries(&request, &policy)
+                    .map_err(|e| e.to_string())?,
+            )? {
                 Response::Load {
                     name,
                     instrs,
@@ -961,7 +997,11 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
                 }
             };
             let mut client = connect(&addr)?;
-            match expect_ok(client.request(&request).map_err(|e| e.to_string())?)? {
+            match expect_ok(
+                client
+                    .request_with_retries(&request, &policy)
+                    .map_err(|e| e.to_string())?,
+            )? {
                 Response::Eval {
                     name,
                     transitions,
@@ -996,7 +1036,11 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
                 sp,
                 st,
             };
-            match expect_ok(client.request(&request).map_err(|e| e.to_string())?)? {
+            match expect_ok(
+                client
+                    .request_with_retries(&request, &policy)
+                    .map_err(|e| e.to_string())?,
+            )? {
                 Response::Expected { name, value } => Ok(expected_report(&name, sp, st, value)),
                 other => Err(format!("unexpected response {other:?}")),
             }
@@ -1004,7 +1048,11 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
         "stats" => {
             flags.finish()?;
             let mut client = connect(&addr)?;
-            match expect_ok(client.request(&Request::Stats).map_err(|e| e.to_string())?)? {
+            match expect_ok(
+                client
+                    .request_with_retries(&Request::Stats, &policy)
+                    .map_err(|e| e.to_string())?,
+            )? {
                 Response::Stats(payload) => Ok(format!("{}\n", payload.to_line())),
                 other => Err(format!("unexpected response {other:?}")),
             }
@@ -1044,14 +1092,40 @@ fn parse_seed(flags: &mut Flags<'_>, name: &str, default: u64) -> Result<u64, Cl
 
 fn cmd_conform(args: &[String]) -> Result<String, CliError> {
     let mut flags = Flags::new(args);
-    let cases = flags.parse("--cases", 64usize)?;
+    let cases_given = flags.value("--cases")?.map(str::to_owned);
     let seed = parse_seed(&mut flags, "--seed", 0xC0FFEE)?;
     let vectors = flags.parse("--vectors", 48usize)?;
     let corpus = flags.value("--corpus")?.map(std::path::PathBuf::from);
     let shrink = flags.flag("--shrink");
     let serve = !flags.flag("--no-serve");
-    let campaigns = !flags.flag("--no-campaigns");
+    let no_campaigns = flags.flag("--no-campaigns");
+    let campaign_mode = flags.value("--campaign")?.unwrap_or("standard").to_owned();
+    let chaos_faults: u64 = flags.parse("--chaos-faults", 200)?;
     flags.finish()?;
+    let mut cases = match &cases_given {
+        None => 64usize,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value `{v}` for `--cases`"))?,
+    };
+    let (campaigns, chaos) = match campaign_mode.as_str() {
+        "standard" => (!no_campaigns, false),
+        "chaos" => {
+            // Chaos-only mode skips the differential sweep unless an
+            // explicit `--cases` asks for one — this is the fast CI
+            // resilience smoke.
+            if cases_given.is_none() {
+                cases = 0;
+            }
+            (false, true)
+        }
+        "all" => (!no_campaigns, true),
+        other => {
+            return Err(format!(
+                "bad value `{other}` for `--campaign` (standard|chaos|all)"
+            ))
+        }
+    };
     let workdir = std::env::temp_dir().join(format!("charfree-conform-{}", std::process::id()));
     let config = charfree_conform::ConformConfig {
         cases,
@@ -1061,6 +1135,8 @@ fn cmd_conform(args: &[String]) -> Result<String, CliError> {
         shrink,
         serve,
         campaigns,
+        chaos,
+        chaos_faults,
         workdir: workdir.clone(),
     };
     let result = charfree_conform::run(&config);
