@@ -9,9 +9,15 @@
 //!     [--duration-secs S] measured window (default 5)
 //!     [--vectors N]       Markov vectors per request (default 256)
 //!     [--batch-window D]  coalescing window in microseconds (default 200)
+//!     [--proto P]         wire protocol: json | binary (default json)
+//!     [--reactor-threads N] reactor shards in the server (default 2)
 //!     [--quick]           2 threads x 1 second (CI smoke run)
 //!     [-o PATH]           output path (default BENCH_serve.json)
 //! ```
+//!
+//! The output file is a JSON *array*: each run appends one entry, so the
+//! file records a trajectory (threaded vs reactor front end, JSON vs
+//! binary protocol) rather than a single number.
 //!
 //! The server runs in-process on a loopback port; clients are real TCP
 //! connections, so the measured path includes the wire protocol, the
@@ -26,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use charfree_netlist::Library;
 use charfree_serve::{
-    Client, Request, Response, ServeConfig, Server, WireBuildOptions, WireEvalParams,
+    Client, Proto, Request, Response, ServeConfig, Server, WireBuildOptions, WireEvalParams,
 };
 
 fn percentile(sorted: &[u64], pct: f64) -> u64 {
@@ -43,6 +49,8 @@ fn main() {
     let mut duration_secs = 5u64;
     let mut vectors = 256usize;
     let mut window_us = 200u64;
+    let mut proto = Proto::Json;
+    let mut reactor_threads = 2usize;
     let mut out = String::from("BENCH_serve.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,6 +85,20 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--batch-window takes microseconds")
             }
+            "--proto" => {
+                proto = args
+                    .next()
+                    .as_deref()
+                    .map(Proto::parse)
+                    .expect("--proto takes a value")
+                    .expect("--proto takes json or binary")
+            }
+            "--reactor-threads" => {
+                reactor_threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reactor-threads takes a number")
+            }
             "--quick" => {
                 threads = 2;
                 duration_secs = 1;
@@ -87,12 +109,14 @@ fn main() {
     }
     assert!(jobs >= 1, "--jobs must be at least 1");
     assert!(threads >= 1, "--threads must be at least 1");
+    assert!(reactor_threads >= 1, "--reactor-threads must be at least 1");
 
     let mut config = ServeConfig::new(Library::test_library());
     config.addr = "127.0.0.1:0".to_owned();
     config.jobs = jobs;
     config.batch_window = Duration::from_micros(window_us);
     config.max_inflight = threads.max(64);
+    config.reactor_threads = reactor_threads;
     config.log = false;
     let server = Server::start(config).expect("server binds");
     let addr = server.addr().to_string();
@@ -113,7 +137,9 @@ fn main() {
 
     eprintln!(
         "[run ] {threads} client thread(s), {jobs} server worker(s), \
-         window {window_us}us, {vectors} vectors/request, {duration_secs}s"
+         {reactor_threads} reactor shard(s), {} protocol, \
+         window {window_us}us, {vectors} vectors/request, {duration_secs}s",
+        proto.name()
     );
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
@@ -122,7 +148,7 @@ fn main() {
             let addr = addr.clone();
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                let mut client = Client::connect(&addr).expect("connects");
+                let mut client = Client::connect_with(&addr, proto).expect("connects");
                 let mut latencies_us: Vec<u64> = Vec::new();
                 let mut ok = 0u64;
                 let mut shed = 0u64;
@@ -212,16 +238,40 @@ fn main() {
          {batched} requests in {batches} batches (mean fill {mean_fill:.1} lanes)"
     );
 
-    let json = format!(
-        "{{\n  \"benchmark\": \"serve_throughput\",\n  \"circuit\": \"decod\",\n  \
-         \"client_threads\": {threads},\n  \"server_jobs\": {jobs},\n  \
-         \"batch_window_us\": {window_us},\n  \"vectors_per_request\": {vectors},\n  \
-         \"duration_secs\": {elapsed:.2},\n  \"requests_ok\": {ok},\n  \
-         \"requests_shed\": {shed},\n  \"requests_per_sec\": {rps:.1},\n  \
-         \"latency_us_p50\": {p50},\n  \"latency_us_p99\": {p99},\n  \
-         \"batches\": {batches},\n  \"batched_requests\": {batched},\n  \
-         \"mean_batch_fill_lanes\": {mean_fill:.2}\n}}\n"
+    let entry = format!(
+        "  {{\n    \"benchmark\": \"serve_throughput\",\n    \"circuit\": \"decod\",\n    \
+         \"frontend\": \"reactor\",\n    \"proto\": \"{proto_name}\",\n    \
+         \"reactor_threads\": {reactor_threads},\n    \
+         \"client_threads\": {threads},\n    \"server_jobs\": {jobs},\n    \
+         \"batch_window_us\": {window_us},\n    \"vectors_per_request\": {vectors},\n    \
+         \"duration_secs\": {elapsed:.2},\n    \"requests_ok\": {ok},\n    \
+         \"requests_shed\": {shed},\n    \"requests_per_sec\": {rps:.1},\n    \
+         \"latency_us_p50\": {p50},\n    \"latency_us_p99\": {p99},\n    \
+         \"batches\": {batches},\n    \"batched_requests\": {batched},\n    \
+         \"mean_batch_fill_lanes\": {mean_fill:.2}\n  }}",
+        proto_name = proto.name()
     );
-    std::fs::write(&out, json).expect("write BENCH_serve.json");
-    println!("wrote {out}");
+    // The file is a trajectory: append this run to the existing array
+    // (older single-object files from the thread-per-connection era are
+    // wrapped into a one-element array first).
+    let merged = match std::fs::read_to_string(&out) {
+        Ok(prev) => {
+            let prev = prev.trim();
+            if let Some(body) = prev.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let body = body.trim().trim_end_matches(',');
+                if body.is_empty() {
+                    format!("[\n{entry}\n]\n")
+                } else {
+                    format!("[\n  {body},\n{entry}\n]\n")
+                }
+            } else if prev.starts_with('{') {
+                format!("[\n  {prev},\n{entry}\n]\n")
+            } else {
+                format!("[\n{entry}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    std::fs::write(&out, merged).expect("write BENCH_serve.json");
+    println!("appended to {out}");
 }

@@ -51,8 +51,8 @@ use charfree_pipeline::{
     ArtifactKey, ArtifactKind, ArtifactStore, CacheLookup, FaultConfig, FaultIo, FaultPlan,
 };
 use charfree_serve::{
-    BreakerConfig, Client, Dispatcher, ErrorKind, Job, JobFault, Request, Response, RetryPolicy,
-    ServeConfig, Server, ServerStats, WireBuildOptions, WireEvalParams,
+    BreakerConfig, ChannelReply, Client, Dispatcher, ErrorKind, Job, JobFault, Request, Response,
+    RetryPolicy, ServeConfig, Server, ServerStats, WireBuildOptions, WireEvalParams,
 };
 use charfree_sim::MarkovSource;
 
@@ -462,7 +462,7 @@ fn supervised_worker_panics(
             patterns: patterns.to_vec(),
             want_values: true,
             deadline: None,
-            reply,
+            reply: Box::new(ChannelReply(reply)),
             fault: Some(JobFault::PanicInWorker),
         };
         dispatcher
@@ -478,7 +478,7 @@ fn supervised_worker_panics(
             patterns: patterns.to_vec(),
             want_values: true,
             deadline: None,
-            reply,
+            reply: Box::new(ChannelReply(reply)),
             fault: None,
         };
         dispatcher

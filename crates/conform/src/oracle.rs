@@ -22,7 +22,7 @@ use charfree_engine::{Kernel, TraceEngine};
 use charfree_netlist::{blif, Library, Netlist};
 use charfree_pipeline::{ArtifactStore, PipelineCtx, Source};
 use charfree_serve::{
-    Client, Request, Response, ServeConfig, Server, WireBuildOptions, WireEvalParams,
+    Client, Proto, Request, Response, ServeConfig, Server, WireBuildOptions, WireEvalParams,
 };
 use charfree_sim::{MarkovSource, UnitDelaySim, ZeroDelaySim};
 
@@ -84,7 +84,9 @@ pub struct Oracle {
     library: Library,
     workdir: PathBuf,
     with_serve: bool,
-    serve: Option<(Server, Client)>,
+    /// One live server plus a JSON and a binary client against it, so
+    /// every case round-trips through *both* wire protocols.
+    serve: Option<(Server, Client, Client)>,
     /// Cases checked so far (also salts case file names).
     pub cases: usize,
     /// Transitions bit-compared so far, summed over cases and layers.
@@ -136,7 +138,7 @@ impl Oracle {
         self.workdir.join("cases").join(format!("{name}.blif"))
     }
 
-    fn client(&mut self) -> Result<&mut Client, String> {
+    fn clients(&mut self) -> Result<(&mut Client, &mut Client), String> {
         if self.serve.is_none() {
             let mut config = ServeConfig::new(self.library.clone());
             config.addr = "127.0.0.1:0".to_owned();
@@ -144,12 +146,15 @@ impl Oracle {
             config.jobs = 2;
             config.cache_dir = Some(self.workdir.join("serve-cache"));
             let server = Server::start(config).map_err(|e| format!("server start: {e}"))?;
-            let client =
-                Client::connect(&server.addr().to_string()).map_err(|e| format!("connect: {e}"))?;
-            self.serve = Some((server, client));
+            let addr = server.addr().to_string();
+            let json =
+                Client::connect_with(&addr, Proto::Json).map_err(|e| format!("connect: {e}"))?;
+            let binary = Client::connect_with(&addr, Proto::Binary)
+                .map_err(|e| format!("binary connect: {e}"))?;
+            self.serve = Some((server, json, binary));
         }
         match &mut self.serve {
-            Some((_, client)) => Ok(client),
+            Some((_, json, binary)) => Ok((json, binary)),
             None => Err("server unavailable".to_owned()),
         }
     }
@@ -158,7 +163,8 @@ impl Oracle {
     /// run; dropping without finishing leaks the server threads until
     /// process exit, which is harmless for one-shot CLI runs.
     pub fn finish(mut self) {
-        if let Some((server, mut client)) = self.serve.take() {
+        if let Some((server, mut client, binary)) = self.serve.take() {
+            drop(binary);
             let _ = client.request(&Request::Shutdown);
             server.wait();
         }
@@ -199,7 +205,7 @@ impl Oracle {
             .map_err(|e| mismatch("params", e))?;
         let outcome = self.check_text(case_name, &text, &patterns)?;
         if self.with_serve {
-            self.check_serve(case_name, params, &outcome)?;
+            self.check_serve(case_name, params, &patterns, &outcome)?;
         }
         Ok(outcome)
     }
@@ -481,15 +487,20 @@ impl Oracle {
         Ok(())
     }
 
+    /// Live-server layer: the same case answered over the JSON line
+    /// protocol, over the binary frame protocol, and over a binary
+    /// explicit-pattern trace — all three must match the local kernel
+    /// trace **bit for bit** (the "binary ≡ JSON" invariant on the wire).
     fn check_serve(
         &mut self,
         case_name: &str,
         params: &CaseParams,
+        patterns: &[Vec<bool>],
         outcome: &CheckOutcome,
     ) -> Result<(), Mismatch> {
         let path = self.case_path(case_name).display().to_string();
-        let request = Request::Trace {
-            source: path,
+        let seeded = Request::Trace {
+            source: path.clone(),
             options: WireBuildOptions::default(),
             params: WireEvalParams {
                 vectors: params.vectors.max(2),
@@ -499,29 +510,48 @@ impl Oracle {
                 deadline_ms: None,
             },
         };
-        let response = self
-            .client()
-            .map_err(|e| mismatch("serve", e))?
-            .request(&request)
-            .map_err(|e| mismatch("serve", format!("{case_name}: {e}")))?;
+        let direct = Request::TraceDirect {
+            source: path,
+            options: WireBuildOptions::default(),
+            patterns: patterns.to_vec(),
+            deadline_ms: None,
+        };
+        self.check_serve_one(case_name, "serve-json", false, &seeded, outcome)?;
+        self.check_serve_one(case_name, "serve-binary", true, &seeded, outcome)?;
+        self.check_serve_one(case_name, "serve-binary-direct", true, &direct, outcome)
+    }
+
+    fn check_serve_one(
+        &mut self,
+        case_name: &str,
+        layer: &'static str,
+        binary: bool,
+        request: &Request,
+        outcome: &CheckOutcome,
+    ) -> Result<(), Mismatch> {
+        let (json_client, binary_client) = self.clients().map_err(|e| mismatch(layer, e))?;
+        let client = if binary { binary_client } else { json_client };
+        let response = client
+            .request(request)
+            .map_err(|e| mismatch(layer, format!("{case_name}: {e}")))?;
         let values = match response {
             Response::Trace { values, .. } => values,
             Response::Error { kind, message, .. } => {
                 return Err(mismatch(
-                    "serve",
+                    layer,
                     format!("{case_name}: server error {}: {message}", kind.name()),
                 ));
             }
             other => {
                 return Err(mismatch(
-                    "serve",
+                    layer,
                     format!("{case_name}: unexpected response {other:?}"),
                 ));
             }
         };
         if values.len() != outcome.kernel_trace.len() {
             return Err(mismatch(
-                "serve",
+                layer,
                 format!(
                     "{case_name}: served {} transitions, local trace has {}",
                     values.len(),
@@ -532,7 +562,7 @@ impl Oracle {
         for (t, (&got, &want)) in values.iter().zip(&outcome.kernel_trace).enumerate() {
             if got.to_bits() != want.to_bits() {
                 return Err(mismatch(
-                    "serve",
+                    layer,
                     format!("{case_name}: transition {t}: served {got} vs local {want}"),
                 ));
             }

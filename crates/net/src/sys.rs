@@ -1,0 +1,168 @@
+//! Raw Linux syscall bindings for `epoll` and `eventfd`.
+//!
+//! The workspace is std-only — no libc crate — so the four syscalls the
+//! reactor needs are declared directly against the C library the binary
+//! is already linked with (the same precedent as the server's `signal`
+//! binding for SIGTERM drain). Everything else (socket reads/writes,
+//! fd ownership and close-on-drop) goes through `std`.
+
+use std::io;
+use std::os::raw::{c_int, c_uint};
+
+/// `epoll_event.events` flag: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `epoll_event.events` flag: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `epoll_event.events` flag: error condition on the fd.
+pub const EPOLLERR: u32 = 0x008;
+/// `epoll_event.events` flag: hangup on the fd.
+pub const EPOLLHUP: u32 = 0x010;
+/// `epoll_event.events` flag: the peer shut down its write side.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// `epoll_event.events` flag: edge-triggered delivery.
+pub const EPOLLET: u32 = 1 << 31;
+
+/// `epoll_ctl` op: register a new fd.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// `epoll_ctl` op: deregister an fd.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// `epoll_ctl` op: change an fd's registered interest.
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+/// `epoll_create1` flag: close-on-exec.
+pub const EPOLL_CLOEXEC: c_int = 0x8_0000;
+/// `eventfd` flag: close-on-exec.
+pub const EFD_CLOEXEC: c_int = 0x8_0000;
+/// `eventfd` flag: nonblocking reads/writes.
+pub const EFD_NONBLOCK: c_int = 0x800;
+
+/// One readiness record, laid out exactly as the kernel ABI expects.
+/// On x86-64 the C definition carries `__EPOLL_PACKED`
+/// (`__attribute__((packed))`), so the struct is 12 bytes with no
+/// padding between `events` and `data`; other architectures use the
+/// natural (padded) layout.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness flag bits (`EPOLLIN` | …).
+    pub events: u32,
+    /// Caller-chosen token, returned verbatim with each event.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed event record (for `epoll_wait` output buffers).
+    pub fn zeroed() -> EpollEvent {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`: a new epoll instance fd.
+///
+/// # Errors
+///
+/// The raw OS error.
+pub fn epoll_create() -> io::Result<c_int> {
+    // SAFETY: epoll_create1 takes no pointers; any flag value is safe.
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// `epoll_ctl`: add/modify/delete `fd` with `events` interest under
+/// `token`.
+///
+/// # Errors
+///
+/// The raw OS error.
+pub fn epoll_control(epfd: c_int, op: c_int, fd: c_int, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: token,
+    };
+    // SAFETY: `ev` is a live, correctly laid out epoll_event for the
+    // duration of the call; the kernel only reads it (and DEL ignores
+    // it entirely).
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+}
+
+/// `epoll_wait`: fills `events` with ready records, blocking up to
+/// `timeout_ms` (negative = forever). Returns the number filled.
+/// `EINTR` is retried internally.
+///
+/// # Errors
+///
+/// The raw OS error (never `EINTR`).
+pub fn epoll_poll(epfd: c_int, events: &mut [EpollEvent], timeout_ms: c_int) -> io::Result<usize> {
+    loop {
+        // SAFETY: `events` is a valid, writable buffer of exactly
+        // `events.len()` epoll_event records.
+        let ret = unsafe {
+            epoll_wait(
+                epfd,
+                events.as_mut_ptr(),
+                events.len().min(c_int::MAX as usize) as c_int,
+                timeout_ms,
+            )
+        };
+        match cvt(ret) {
+            Ok(n) => return Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// `eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)`: a wakeup fd whose reads
+/// drain a 64-bit counter.
+///
+/// # Errors
+///
+/// The raw OS error.
+pub fn eventfd_create() -> io::Result<c_int> {
+    // SAFETY: eventfd takes no pointers.
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_matches_the_kernel_abi_size() {
+        let expect = if cfg!(target_arch = "x86_64") { 12 } else { 16 };
+        assert_eq!(std::mem::size_of::<EpollEvent>(), expect);
+    }
+
+    #[test]
+    fn epoll_and_eventfd_create_valid_fds() {
+        let ep = epoll_create().expect("epoll_create1");
+        let ev = eventfd_create().expect("eventfd");
+        assert!(ep >= 0 && ev >= 0);
+        epoll_control(ep, EPOLL_CTL_ADD, ev, EPOLLIN, 7).expect("ctl add");
+        // Nothing written yet: a zero-timeout wait returns no events.
+        let mut buf = [EpollEvent::zeroed(); 4];
+        assert_eq!(epoll_poll(ep, &mut buf, 0).expect("wait"), 0);
+        // SAFETY: both fds were just created by the kernel and are owned
+        // exclusively by this test.
+        unsafe {
+            use std::os::fd::FromRawFd;
+            drop(std::fs::File::from_raw_fd(ev));
+            drop(std::fs::File::from_raw_fd(ep));
+        }
+    }
+}

@@ -57,6 +57,33 @@ pub enum JobFault {
     PanicInWorker,
 }
 
+/// Where a job's result goes.
+///
+/// The blocking front end waits on a channel ([`ChannelReply`]); the
+/// reactor front end completes asynchronously (format the response,
+/// post it to the connection's shard, wake the reactor) without any
+/// thread parked per in-flight request.
+///
+/// **Drop contract:** a sink dropped without [`complete`](ReplySink::complete)
+/// being called means the executing worker panicked and unwound past the
+/// job. Implementations must convert that drop into a typed, retriable
+/// error for the waiting client — `ChannelReply` does it by
+/// disconnecting its channel; an async sink must do it in `Drop`.
+pub trait ReplySink: Send {
+    /// Consumes the sink with the job's outcome. Called at most once.
+    fn complete(self: Box<Self>, result: Result<JobOutput, JobError>);
+}
+
+/// The channel-backed [`ReplySink`] used by blocking callers: completion
+/// sends on the capacity-1 channel; an abandoning drop disconnects it.
+pub struct ChannelReply(pub SyncSender<Result<JobOutput, JobError>>);
+
+impl ReplySink for ChannelReply {
+    fn complete(self: Box<Self>, result: Result<JobOutput, JobError>) {
+        let _ = self.0.send(result);
+    }
+}
+
 /// One evaluation request, ready to batch.
 pub struct Job {
     /// Kernel to evaluate on (an `Arc` clone pins it across evictions).
@@ -68,14 +95,14 @@ pub struct Job {
     pub want_values: bool,
     /// Absolute deadline; expired jobs are shed at execution time.
     pub deadline: Option<Instant>,
-    /// Where the result goes (capacity-1 channel owned by the
-    /// connection thread).
-    pub reply: SyncSender<Result<JobOutput, JobError>>,
+    /// Where the result goes (see the [`ReplySink`] drop contract).
+    pub reply: Box<dyn ReplySink>,
     /// Injected fault for supervision testing; `None` in production.
     pub fault: Option<JobFault>,
 }
 
 /// A completed job.
+#[derive(Debug)]
 pub struct JobOutput {
     /// Chunk-reduced summary, bit-identical to the offline path.
     pub summary: TraceSummary,
@@ -88,6 +115,10 @@ pub struct JobOutput {
 pub enum JobError {
     /// The deadline expired before a worker reached the job.
     DeadlineExceeded,
+    /// The submit queue was full; the job was shed without evaluating.
+    /// (Produced by callers that get the job handed back from
+    /// [`BatchHandle::try_submit`] and complete its sink themselves.)
+    Shed,
 }
 
 struct MicroBatch {
@@ -197,12 +228,18 @@ fn coordinate(rx: Receiver<Job>, batch_tx: SyncSender<MicroBatch>, window: Durat
         let mut jobs = vec![first];
         if !window.is_zero() {
             let wake = Instant::now() + window;
+            // The full window is a *cap*, not a wait: once the submit
+            // queue has stayed empty for a short grace period the window
+            // closes early. Closed-loop clients cannot enqueue more work
+            // until their in-flight job completes, so waiting out the
+            // whole window after the queue runs dry is pure dead time.
+            let grace = (window / 16).max(Duration::from_micros(10));
             while jobs.len() < MAX_BATCH_JOBS {
                 let now = Instant::now();
                 if now >= wake {
                     break;
                 }
-                match rx.recv_timeout(wake - now) {
+                match rx.recv_timeout(grace.min(wake - now)) {
                     Ok(job) => jobs.push(job),
                     // On disconnect the flush below still runs; the next
                     // outer recv() observes the closed queue and returns.
@@ -271,7 +308,7 @@ fn execute(kernel: &Kernel, jobs: Vec<Job>, stats: &ServerStats) {
     for job in jobs {
         match job.deadline {
             Some(deadline) if deadline <= now => {
-                let _ = job.reply.send(Err(JobError::DeadlineExceeded));
+                job.reply.complete(Err(JobError::DeadlineExceeded));
             }
             _ => live.push(job),
         }
@@ -312,7 +349,7 @@ fn execute(kernel: &Kernel, jobs: Vec<Job>, stats: &ServerStats) {
             summary,
             values: job.want_values.then(|| slice.to_vec()),
         };
-        let _ = job.reply.send(Ok(output));
+        job.reply.complete(Ok(output));
     }
 }
 
@@ -361,7 +398,7 @@ mod tests {
                 patterns: patterns_for(kernel, *vectors, *seed),
                 want_values: *want_values,
                 deadline: None,
-                reply: reply_tx,
+                reply: Box::new(ChannelReply(reply_tx)),
                 fault: None,
             };
             assert!(handle.try_submit(job).is_ok());
@@ -405,13 +442,13 @@ mod tests {
             patterns: patterns_for(&decod, 100, 9),
             want_values: false,
             deadline: Some(Instant::now() - Duration::from_millis(1)),
-            reply: reply_tx,
+            reply: Box::new(ChannelReply(reply_tx)),
             fault: None,
         };
         assert!(handle.try_submit(job).is_ok());
         match reply_rx.recv().expect("reply arrives") {
             Err(JobError::DeadlineExceeded) => {}
-            Ok(_) => panic!("expired job must not evaluate"),
+            other => panic!("expired job must shed with a deadline error, got {other:?}"),
         }
         drop(handle);
         dispatcher.shutdown();
@@ -434,7 +471,7 @@ mod tests {
                 patterns: patterns_for(&decod, 10, seed),
                 want_values: false,
                 deadline: None,
-                reply: reply_tx,
+                reply: Box::new(ChannelReply(reply_tx)),
                 fault: None,
             };
             match handle.try_submit(job) {
@@ -472,7 +509,7 @@ mod tests {
                 patterns: patterns_for(&decod, 10, 100 + round),
                 want_values: false,
                 deadline: None,
-                reply: poison_tx,
+                reply: Box::new(ChannelReply(poison_tx)),
                 fault: Some(JobFault::PanicInWorker),
             };
             assert!(handle.try_submit(poison).is_ok());
@@ -488,7 +525,7 @@ mod tests {
                 patterns: patterns_for(&decod, 50, round),
                 want_values: false,
                 deadline: None,
-                reply: reply_tx,
+                reply: Box::new(ChannelReply(reply_tx)),
                 fault: None,
             };
             assert!(handle.try_submit(job).is_ok());

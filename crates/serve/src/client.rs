@@ -1,14 +1,51 @@
-//! Blocking client for the wire protocol, with optional retry/backoff.
+//! Blocking client for the wire protocols (JSON lines or binary
+//! frames), with optional retry/backoff.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
 use crate::proto::{Request, Response};
+use crate::wire;
 
 /// How long a client waits for one response line before giving up (a
 /// cold build of a large benchmark is the slow path this must cover).
 const RESPONSE_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Which wire encoding a [`Client`] speaks. Both carry the same
+/// requests and responses with bit-identical f64 results; binary skips
+/// JSON formatting/parsing and ships pattern blocks and trace values as
+/// raw little-endian words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// Newline-delimited JSON requests and responses.
+    Json,
+    /// Length-prefixed binary frames (magic `CFB1`, negotiated version).
+    Binary,
+}
+
+impl Proto {
+    /// Parses a `--proto` flag value.
+    ///
+    /// # Errors
+    ///
+    /// Anything other than `json` or `binary`.
+    pub fn parse(s: &str) -> Result<Proto, String> {
+        match s {
+            "json" => Ok(Proto::Json),
+            "binary" => Ok(Proto::Binary),
+            other => Err(format!("unknown protocol `{other}` (expected json|binary)")),
+        }
+    }
+
+    /// The flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Proto::Json => "json",
+            Proto::Binary => "binary",
+        }
+    }
+}
 
 /// Retry behavior for [`Client::request_with_retries`].
 ///
@@ -82,35 +119,77 @@ fn reconnectable(e: &io::Error) -> bool {
 /// answered in order on one socket.
 pub struct Client {
     addr: String,
+    proto: Proto,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`) speaking JSON lines.
     ///
     /// # Errors
     ///
     /// Propagates connect/configuration failures.
     pub fn connect(addr: &str) -> io::Result<Client> {
+        Client::connect_with(addr, Proto::Json)
+    }
+
+    /// Connects speaking the given protocol. For [`Proto::Binary`] this
+    /// performs the hello/ack version negotiation before returning.
+    ///
+    /// # Errors
+    ///
+    /// Connect/configuration failures, and (binary) a rejected or
+    /// malformed hello ack (`InvalidData`).
+    pub fn connect_with(addr: &str, proto: Proto) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
-        Ok(Client {
+        let mut client = Client {
             addr: addr.to_owned(),
+            proto,
             reader: BufReader::new(stream),
             writer,
-        })
+        };
+        if proto == Proto::Binary {
+            client
+                .writer
+                .write_all(&wire::encode_hello(wire::VERSION, wire::VERSION))?;
+            client.writer.flush()?;
+            let mut ack = [0u8; 6];
+            client.reader.read_exact(&mut ack)?;
+            let chosen = wire::parse_hello_ack(&ack)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            if chosen != wire::VERSION {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("server chose unsupported protocol version {chosen}"),
+                ));
+            }
+        }
+        Ok(client)
+    }
+
+    /// The negotiated protocol.
+    pub fn proto(&self) -> Proto {
+        self.proto
     }
 
     /// Sends one request and blocks for its response.
     ///
     /// # Errors
     ///
-    /// I/O failures, timeouts, and malformed response lines (reported as
+    /// I/O failures, timeouts, and malformed responses (reported as
     /// `InvalidData`).
     pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        match self.proto {
+            Proto::Json => self.request_json(request),
+            Proto::Binary => self.request_binary(request),
+        }
+    }
+
+    fn request_json(&mut self, request: &Request) -> io::Result<Response> {
         writeln!(self.writer, "{}", request.to_line())?;
         self.writer.flush()?;
         let mut line = String::new();
@@ -122,6 +201,26 @@ impl Client {
             ));
         }
         Response::parse_line(line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    fn request_binary(&mut self, request: &Request) -> io::Result<Response> {
+        let mut frame = Vec::new();
+        wire::encode_request(request, &mut frame);
+        self.writer.write_all(&frame)?;
+        self.writer.flush()?;
+        let mut prefix = [0u8; 4];
+        self.reader.read_exact(&mut prefix)?;
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len == 0 || len > wire::MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid response frame length {len}"),
+            ));
+        }
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        wire::decode_response(body[0], &body[1..])
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
@@ -156,10 +255,10 @@ impl Client {
             std::thread::sleep(policy.backoff(attempt, hint));
             attempt += 1;
             if outcome.is_err() {
-                // The transport died; rebuild it before retrying. If the
-                // server is still down, keep burning the retry budget on
-                // the connect error.
-                match Client::connect(&self.addr) {
+                // The transport died; rebuild it (same protocol) before
+                // retrying. If the server is still down, keep burning the
+                // retry budget on the connect error.
+                match Client::connect_with(&self.addr, self.proto) {
                     Ok(fresh) => *self = fresh,
                     Err(_) => continue,
                 }
@@ -212,5 +311,7 @@ mod tests {
             io::ErrorKind::InvalidData,
             "malformed response"
         )));
+        assert_eq!(Proto::parse("binary"), Ok(Proto::Binary));
+        assert!(Proto::parse("grpc").is_err());
     }
 }

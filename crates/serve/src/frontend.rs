@@ -1,0 +1,887 @@
+//! The reactor front end: protocol detection, framing, and the service
+//! pool that turns frames into work.
+//!
+//! Threading: the reactor shard threads (crate `charfree-net`) do
+//! nothing but framing — they sniff the protocol from the connection's
+//! first byte (`{` or whitespace → JSON lines, `C` of `CFB1` → binary,
+//! `G` of `GET ` → HTTP metrics), slice complete JSON lines / binary
+//! frames out of the read buffer, and hand them to the **service
+//! pool**. Service threads parse, run admission control, resolve models
+//! (cold symbolic builds happen here, never on an I/O thread) and either
+//! answer directly or submit a dispatcher job whose [`ReplySink`] posts
+//! the already-encoded response back to the owning shard through the
+//! reactor [`Mailbox`].
+//!
+//! One request is in flight per connection at a time (responses are
+//! answered in order); bytes a pipelining client sends early simply
+//! accumulate in the connection buffer until the in-flight response
+//! completes. A client that half-closes after its last request still
+//! gets every response: EOF is deferred while a completion is pending.
+
+use std::io;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use charfree_engine::Kernel;
+use charfree_net::{CloseReason, ConnCtx, Handler, Mailbox, Token};
+use charfree_sim::MarkovSource;
+
+use crate::batch::{BatchHandle, Job, JobError, JobOutput, ReplySink};
+use crate::metrics;
+use crate::proto::{ErrorKind, Request, Response, WireBuildOptions, WireEvalParams};
+use crate::server::{self, InflightGuard, Shared, MAX_LINE_BYTES, RETRY_AFTER_MS};
+use crate::wire;
+
+/// Longest tolerated HTTP request head before the connection is cut.
+const MAX_HTTP_HEAD: usize = 8 * 1024;
+
+/// A finished request on its way back to the connection: response bytes
+/// already encoded for the connection's protocol, plus whether the
+/// connection should close once they are flushed (`shutdown`'s ack).
+pub(crate) struct Completion {
+    bytes: Vec<u8>,
+    close: bool,
+}
+
+/// Which wire encoding a connection (or one request on it) speaks.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Proto {
+    Json,
+    Binary,
+}
+
+/// Per-connection protocol state.
+enum Mode {
+    /// Nothing decisive received yet: sniff the first byte.
+    Detecting,
+    /// First byte was `C`: waiting for the full 8-byte binary hello.
+    Hello,
+    /// Newline-delimited JSON requests.
+    Json,
+    /// Length-prefixed binary frames (hello negotiated).
+    Binary,
+    /// An HTTP request (metrics scrape); answer once and close.
+    Http,
+}
+
+/// One framed request on its way to the service pool.
+pub(crate) struct SvcRequest {
+    token: Token,
+    proto: Proto,
+    received: Instant,
+    raw: Raw,
+}
+
+enum Raw {
+    Json(String),
+    Binary { ty: u8, payload: Vec<u8> },
+}
+
+fn encode_response(proto: Proto, resp: &Response) -> Vec<u8> {
+    match proto {
+        Proto::Json => {
+            let mut bytes = resp.to_line().into_bytes();
+            bytes.push(b'\n');
+            bytes
+        }
+        Proto::Binary => {
+            let mut bytes = Vec::new();
+            wire::encode_response(resp, &mut bytes);
+            bytes
+        }
+    }
+}
+
+/// The per-connection [`Handler`]: a protocol state machine that only
+/// frames — all parsing and evaluation happens off the shard thread.
+pub(crate) struct Frontend {
+    shared: Arc<Shared>,
+    svc: SyncSender<SvcRequest>,
+    mode: Mode,
+    /// A request is with the service pool / dispatcher; frames buffer
+    /// until its completion comes back.
+    busy: bool,
+    /// The peer half-closed while a request was in flight; close once
+    /// the response has been written.
+    eof_pending: bool,
+}
+
+impl Frontend {
+    pub(crate) fn new(shared: Arc<Shared>, svc: SyncSender<SvcRequest>) -> Frontend {
+        Frontend {
+            shared,
+            svc,
+            mode: Mode::Detecting,
+            busy: false,
+            eof_pending: false,
+        }
+    }
+
+    fn write_error(&self, conn: &mut ConnCtx<'_>, proto: Proto, kind: ErrorKind, message: String) {
+        let resp = Response::Error {
+            kind,
+            message,
+            retry_after_ms: None,
+        };
+        conn.write(&encode_response(proto, &resp));
+    }
+
+    fn pump(&mut self, conn: &mut ConnCtx<'_>) {
+        loop {
+            if conn.closing() {
+                return;
+            }
+            match self.mode {
+                Mode::Detecting => {
+                    let ws = conn
+                        .data()
+                        .iter()
+                        .take_while(|&&b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+                        .count();
+                    if ws > 0 {
+                        conn.consume(ws);
+                    }
+                    let Some(&first) = conn.data().first() else {
+                        return;
+                    };
+                    // Anything that is not a binary hello or an HTTP GET
+                    // is treated as JSON lines — including garbage, which
+                    // then gets a typed per-line `bad-request` without
+                    // costing the connection.
+                    self.mode = match first {
+                        b'C' => Mode::Hello,
+                        b'G' => Mode::Http,
+                        _ => Mode::Json,
+                    };
+                }
+                Mode::Hello => {
+                    if conn.data().len() < 8 {
+                        return;
+                    }
+                    let mut hello = [0u8; 8];
+                    hello.copy_from_slice(&conn.data()[..8]);
+                    conn.consume(8);
+                    match wire::parse_hello(&hello) {
+                        Ok((min, max)) if (min..=max).contains(&wire::VERSION) => {
+                            conn.write(&wire::encode_hello_ack(wire::VERSION));
+                            self.mode = Mode::Binary;
+                        }
+                        Ok((min, max)) => {
+                            self.shared.stats.record_error();
+                            conn.write(&wire::encode_hello_ack(0));
+                            self.write_error(
+                                conn,
+                                Proto::Binary,
+                                ErrorKind::Unsupported,
+                                format!(
+                                    "no common protocol version: server speaks {}, client \
+                                     offered {min}..={max}",
+                                    wire::VERSION
+                                ),
+                            );
+                            conn.close(CloseReason::Protocol);
+                            return;
+                        }
+                        Err(message) => {
+                            self.shared.stats.record_error();
+                            conn.write(&wire::encode_hello_ack(0));
+                            self.write_error(conn, Proto::Binary, ErrorKind::BadRequest, message);
+                            conn.close(CloseReason::Protocol);
+                            return;
+                        }
+                    }
+                }
+                Mode::Json => {
+                    self.pump_json(conn);
+                    return;
+                }
+                Mode::Binary => {
+                    self.pump_binary(conn);
+                    return;
+                }
+                Mode::Http => {
+                    self.pump_http(conn);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn pump_json(&mut self, conn: &mut ConnCtx<'_>) {
+        while !self.busy && !conn.closing() {
+            let data = conn.data();
+            let Some(nl) = data.iter().position(|&b| b == b'\n') else {
+                if data.len() > MAX_LINE_BYTES {
+                    self.shared.stats.record_error();
+                    self.write_error(
+                        conn,
+                        Proto::Json,
+                        ErrorKind::BadRequest,
+                        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    );
+                    conn.close(CloseReason::Protocol);
+                }
+                return;
+            };
+            let mut line = &data[..nl];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            let text = String::from_utf8_lossy(line).into_owned();
+            conn.consume(nl + 1);
+            if text.trim().is_empty() {
+                continue;
+            }
+            self.dispatch(conn, Proto::Json, Raw::Json(text));
+        }
+    }
+
+    fn pump_binary(&mut self, conn: &mut ConnCtx<'_>) {
+        while !self.busy && !conn.closing() {
+            match wire::try_frame(conn.data()) {
+                Ok(None) => return,
+                Ok(Some(frame)) => {
+                    let ty = frame.ty;
+                    let payload = conn.data()[frame.payload_start..frame.payload_end].to_vec();
+                    conn.consume(frame.consumed);
+                    self.dispatch(conn, Proto::Binary, Raw::Binary { ty, payload });
+                }
+                Err(message) => {
+                    // Framing errors (hostile length prefix) are
+                    // unrecoverable: the stream can no longer be trusted
+                    // to be in sync, so answer once and close.
+                    self.shared.stats.record_error();
+                    self.write_error(conn, Proto::Binary, ErrorKind::BadRequest, message);
+                    conn.close(CloseReason::Protocol);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn pump_http(&mut self, conn: &mut ConnCtx<'_>) {
+        let data = conn.data();
+        let Some(nl) = data.iter().position(|&b| b == b'\n') else {
+            if data.len() > MAX_HTTP_HEAD {
+                conn.close(CloseReason::Protocol);
+            }
+            return;
+        };
+        let line = String::from_utf8_lossy(&data[..nl]).into_owned();
+        let buffered = data.len();
+        conn.consume(buffered);
+        let mut parts = line.split_whitespace();
+        let body = match (parts.next(), parts.next()) {
+            (Some("GET"), Some("/metrics")) => {
+                metrics::http_response(&metrics::render(&self.shared.snapshot()))
+            }
+            _ => metrics::http_not_found(),
+        };
+        conn.write(body.as_bytes());
+        conn.close(CloseReason::App);
+    }
+
+    fn dispatch(&mut self, conn: &mut ConnCtx<'_>, proto: Proto, raw: Raw) {
+        let req = SvcRequest {
+            token: conn.token(),
+            proto,
+            received: Instant::now(),
+            raw,
+        };
+        match self.svc.try_send(req) {
+            Ok(()) => {
+                self.busy = true;
+                conn.touch();
+            }
+            Err(TrySendError::Full(_)) => {
+                // Pre-admission shed: the service queue is sized to the
+                // connection cap, so this only fires under pathological
+                // pile-up. Typed, retriable, and the connection lives on.
+                self.shared.stats.record_shed();
+                self.shared.stats.record_error();
+                let resp = Response::Error {
+                    kind: ErrorKind::Overloaded,
+                    message: "service queue full".to_owned(),
+                    retry_after_ms: Some(RETRY_AFTER_MS),
+                };
+                conn.write(&encode_response(proto, &resp));
+            }
+            Err(TrySendError::Disconnected(_)) => conn.close(CloseReason::App),
+        }
+    }
+}
+
+impl Handler<Completion> for Frontend {
+    fn on_data(&mut self, conn: &mut ConnCtx<'_>) {
+        self.pump(conn);
+    }
+
+    fn on_message(&mut self, msg: Completion, conn: &mut ConnCtx<'_>) {
+        self.busy = false;
+        conn.write(&msg.bytes);
+        conn.touch();
+        if msg.close {
+            conn.close(CloseReason::App);
+            return;
+        }
+        if conn.draining() {
+            conn.close(CloseReason::Drain);
+            return;
+        }
+        self.pump(conn);
+        if !self.busy && self.eof_pending && !conn.closing() {
+            conn.close(CloseReason::Eof);
+        }
+    }
+
+    fn on_eof(&mut self, conn: &mut ConnCtx<'_>) {
+        if self.busy {
+            // Half-close with a request in flight: finish it first.
+            self.eof_pending = true;
+        } else {
+            conn.close(CloseReason::Eof);
+        }
+    }
+
+    fn on_drain(&mut self, conn: &mut ConnCtx<'_>) {
+        // A busy connection finishes its in-flight request; the
+        // completion path re-checks the draining flag and closes.
+        if !self.busy {
+            conn.close(CloseReason::Drain);
+        }
+    }
+
+    fn on_idle(&mut self, conn: &mut ConnCtx<'_>) {
+        if self.busy {
+            // The server, not the client, is the slow party.
+            conn.touch();
+            return;
+        }
+        self.shared.stats.record_idle_timeout();
+        let proto = match self.mode {
+            Mode::Binary => Proto::Binary,
+            _ => Proto::Json,
+        };
+        let resp = Response::Error {
+            kind: ErrorKind::Timeout,
+            message: "idle timeout: no request arrived within the idle window".to_owned(),
+            retry_after_ms: None,
+        };
+        conn.write(&encode_response(proto, &resp));
+        conn.close(CloseReason::Idle);
+    }
+}
+
+// ---- service pool ---------------------------------------------------
+
+/// The fixed pool of service threads between the reactor and the
+/// dispatcher.
+pub(crate) struct ServicePool {
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServicePool {
+    /// Spawns `threads` service workers draining `rx`.
+    pub(crate) fn start(
+        threads: usize,
+        rx: Receiver<SvcRequest>,
+        shared: &Arc<Shared>,
+        batch: &BatchHandle,
+        mailbox: &Mailbox<Completion>,
+    ) -> io::Result<ServicePool> {
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(threads.max(1));
+        for i in 0..threads.max(1) {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(shared);
+            let batch = batch.clone();
+            let mailbox = mailbox.clone();
+            pool.push(
+                thread::Builder::new()
+                    .name(format!("charfree-serve-svc-{i}"))
+                    .spawn(move || service_loop(&rx, &shared, &batch, &mailbox))?,
+            );
+        }
+        Ok(ServicePool { threads: pool })
+    }
+
+    /// Joins the pool; every frame sender (the reactor) must already be
+    /// gone, or this blocks.
+    pub(crate) fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn service_loop(
+    rx: &Mutex<Receiver<SvcRequest>>,
+    shared: &Arc<Shared>,
+    batch: &BatchHandle,
+    mailbox: &Mailbox<Completion>,
+) {
+    loop {
+        // Hold the lock only for the receive, so a slow request does not
+        // serialize the pool.
+        let req = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        match req {
+            Ok(req) => handle_request(req, shared, batch, mailbox),
+            Err(_) => return, // reactor gone and the queue drained
+        }
+    }
+}
+
+/// Records the outcome, logs it, and posts the encoded response back to
+/// the connection's shard.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    shared: &Shared,
+    mailbox: &Mailbox<Completion>,
+    token: Token,
+    proto: Proto,
+    received: Instant,
+    cmd: &str,
+    response: Response,
+    close: bool,
+) {
+    let latency_us = received.elapsed().as_micros() as u64;
+    let (status, is_error) = match &response {
+        Response::Error { kind, .. } => (kind.name(), true),
+        _ => ("ok", false),
+    };
+    if is_error {
+        shared.stats.record_error();
+    } else {
+        shared.stats.record_completed(latency_us);
+    }
+    shared.log_line(
+        token,
+        &format!("cmd={cmd} status={status} latency_us={latency_us}"),
+    );
+    mailbox.post(
+        token,
+        Completion {
+            bytes: encode_response(proto, &response),
+            close,
+        },
+    );
+}
+
+fn overloaded_response(shared: &Shared) -> Response {
+    shared.stats.record_shed();
+    Response::Error {
+        kind: ErrorKind::Overloaded,
+        message: format!("{} requests in flight", shared.max_inflight),
+        retry_after_ms: Some(RETRY_AFTER_MS),
+    }
+}
+
+fn handle_request(
+    req: SvcRequest,
+    shared: &Arc<Shared>,
+    batch: &BatchHandle,
+    mailbox: &Mailbox<Completion>,
+) {
+    let SvcRequest {
+        token,
+        proto,
+        received,
+        raw,
+    } = req;
+    let parsed = match raw {
+        Raw::Json(line) => Request::parse_line(&line),
+        Raw::Binary { ty, payload } => wire::decode_request(ty, &payload),
+    };
+    let request = match parsed {
+        Ok(request) => request,
+        Err(message) => {
+            let resp = Response::Error {
+                kind: ErrorKind::BadRequest,
+                message,
+                retry_after_ms: None,
+            };
+            finish(shared, mailbox, token, proto, received, "?", resp, false);
+            return;
+        }
+    };
+    let cmd = request.cmd();
+    shared.stats.record_accepted(cmd);
+    if shared.draining.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
+        let resp = Response::Error {
+            kind: ErrorKind::Draining,
+            message: "server is draining".to_owned(),
+            retry_after_ms: None,
+        };
+        finish(shared, mailbox, token, proto, received, cmd, resp, false);
+        return;
+    }
+    // stats/metrics/shutdown are control-plane: they bypass the
+    // admission window so an overloaded server can still be observed
+    // and drained.
+    match request {
+        Request::Stats => {
+            let resp = Response::Stats(shared.snapshot());
+            finish(shared, mailbox, token, proto, received, cmd, resp, false);
+        }
+        Request::Metrics => {
+            let resp = Response::Metrics(metrics::render(&shared.snapshot()));
+            finish(shared, mailbox, token, proto, received, cmd, resp, false);
+        }
+        Request::Shutdown => {
+            finish(
+                shared,
+                mailbox,
+                token,
+                proto,
+                received,
+                cmd,
+                Response::Shutdown,
+                true,
+            );
+            server::begin_drain(shared);
+        }
+        Request::Load { source, options } => {
+            let resp = match server::try_admit(shared) {
+                Some(_guard) => server::do_load(shared, &source, &options),
+                None => overloaded_response(shared),
+            };
+            finish(shared, mailbox, token, proto, received, cmd, resp, false);
+        }
+        Request::Expected { source, sp, st } => {
+            let resp = match server::try_admit(shared) {
+                Some(_guard) => server::do_expected(shared, &source, sp, st),
+                None => overloaded_response(shared),
+            };
+            finish(shared, mailbox, token, proto, received, cmd, resp, false);
+        }
+        Request::Eval {
+            source,
+            options,
+            params,
+        } => start_eval(
+            shared, batch, mailbox, token, proto, received, cmd, &source, &options, &params, false,
+        ),
+        Request::Trace {
+            source,
+            options,
+            params,
+        } => start_eval(
+            shared, batch, mailbox, token, proto, received, cmd, &source, &options, &params, true,
+        ),
+        Request::TraceDirect {
+            source,
+            options,
+            patterns,
+            deadline_ms,
+        } => start_direct(
+            shared,
+            batch,
+            mailbox,
+            token,
+            proto,
+            received,
+            cmd,
+            &source,
+            &options,
+            patterns,
+            deadline_ms,
+        ),
+    }
+}
+
+/// `eval`/`trace`: admission, model resolution, Markov pattern
+/// generation, then a dispatcher job completing through the mailbox.
+#[allow(clippy::too_many_arguments)]
+fn start_eval(
+    shared: &Arc<Shared>,
+    batch: &BatchHandle,
+    mailbox: &Mailbox<Completion>,
+    token: Token,
+    proto: Proto,
+    received: Instant,
+    cmd: &'static str,
+    source: &str,
+    options: &WireBuildOptions,
+    params: &WireEvalParams,
+    want_values: bool,
+) {
+    let Some(guard) = server::try_admit(shared) else {
+        let resp = overloaded_response(shared);
+        finish(shared, mailbox, token, proto, received, cmd, resp, false);
+        return;
+    };
+    if params.vectors > shared.max_vectors {
+        let resp = server::error(
+            ErrorKind::BadRequest,
+            format!(
+                "vectors={} exceeds this server's per-request cap ({}); split the request or \
+                 restart with a larger --max-vectors",
+                params.vectors, shared.max_vectors
+            ),
+        );
+        finish(shared, mailbox, token, proto, received, cmd, resp, false);
+        return;
+    }
+    let deadline = params
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    // The request deadline also bounds a cold build (and, being
+    // timing-dependent, keeps that build out of the registry).
+    let build_options = WireBuildOptions {
+        deadline_ms: params.deadline_ms,
+        ..options.clone()
+    };
+    let kernel = match server::resolve(shared, source, &build_options) {
+        Ok((kernel, _, _)) => kernel,
+        Err(resp) => {
+            finish(shared, mailbox, token, proto, received, cmd, resp, false);
+            return;
+        }
+    };
+    // Identical pattern generation to the offline CLI: a Markov source
+    // over the kernel's inputs, at least two patterns.
+    let mut markov = match MarkovSource::new(kernel.num_inputs(), params.sp, params.st, params.seed)
+    {
+        Ok(markov) => markov,
+        Err(e) => {
+            let resp = server::error(ErrorKind::BadRequest, e.to_string());
+            finish(shared, mailbox, token, proto, received, cmd, resp, false);
+            return;
+        }
+    };
+    let patterns = markov.sequence(params.vectors.max(2));
+    submit(
+        shared,
+        batch,
+        mailbox,
+        token,
+        proto,
+        received,
+        cmd,
+        kernel,
+        patterns,
+        want_values,
+        deadline,
+        guard,
+    );
+}
+
+/// `tracep`: explicit patterns straight into the dispatcher.
+#[allow(clippy::too_many_arguments)]
+fn start_direct(
+    shared: &Arc<Shared>,
+    batch: &BatchHandle,
+    mailbox: &Mailbox<Completion>,
+    token: Token,
+    proto: Proto,
+    received: Instant,
+    cmd: &'static str,
+    source: &str,
+    options: &WireBuildOptions,
+    patterns: Vec<Vec<bool>>,
+    deadline_ms: Option<u64>,
+) {
+    let Some(guard) = server::try_admit(shared) else {
+        let resp = overloaded_response(shared);
+        finish(shared, mailbox, token, proto, received, cmd, resp, false);
+        return;
+    };
+    if patterns.len() > shared.max_vectors {
+        let resp = server::error(
+            ErrorKind::BadRequest,
+            format!(
+                "{} patterns exceeds this server's per-request cap ({})",
+                patterns.len(),
+                shared.max_vectors
+            ),
+        );
+        finish(shared, mailbox, token, proto, received, cmd, resp, false);
+        return;
+    }
+    if patterns.len() < 2 {
+        let resp = server::error(
+            ErrorKind::BadRequest,
+            "tracep needs at least two patterns (transitions are pattern pairs)",
+        );
+        finish(shared, mailbox, token, proto, received, cmd, resp, false);
+        return;
+    }
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let build_options = WireBuildOptions {
+        deadline_ms,
+        ..options.clone()
+    };
+    let kernel = match server::resolve(shared, source, &build_options) {
+        Ok((kernel, _, _)) => kernel,
+        Err(resp) => {
+            finish(shared, mailbox, token, proto, received, cmd, resp, false);
+            return;
+        }
+    };
+    let width = kernel.num_inputs();
+    if patterns.iter().any(|p| p.len() != width) {
+        let resp = server::error(
+            ErrorKind::BadRequest,
+            format!("pattern width must match the model's {width} inputs"),
+        );
+        finish(shared, mailbox, token, proto, received, cmd, resp, false);
+        return;
+    }
+    submit(
+        shared, batch, mailbox, token, proto, received, cmd, kernel, patterns, true, deadline,
+        guard,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn submit(
+    shared: &Arc<Shared>,
+    batch: &BatchHandle,
+    mailbox: &Mailbox<Completion>,
+    token: Token,
+    proto: Proto,
+    received: Instant,
+    cmd: &'static str,
+    kernel: Arc<Kernel>,
+    patterns: Vec<Vec<bool>>,
+    want_values: bool,
+    deadline: Option<Instant>,
+    guard: InflightGuard,
+) {
+    if let Some(deadline) = deadline {
+        if deadline <= Instant::now() {
+            let resp = server::error(
+                ErrorKind::DeadlineExceeded,
+                "deadline expired before dispatch",
+            );
+            finish(shared, mailbox, token, proto, received, cmd, resp, false);
+            return;
+        }
+    }
+    let sink = ReactorReply {
+        inner: Some(ReplyInner {
+            shared: Arc::clone(shared),
+            mailbox: mailbox.clone(),
+            token,
+            proto,
+            received,
+            cmd,
+            name: kernel.name().to_owned(),
+            want_values,
+            _guard: guard,
+        }),
+    };
+    let job = Job {
+        kernel,
+        patterns,
+        want_values,
+        deadline,
+        reply: Box::new(sink),
+        fault: None,
+    };
+    if let Err(job) = batch.try_submit(job) {
+        shared.stats.record_shed();
+        job.reply.complete(Err(JobError::Shed));
+    }
+}
+
+/// The async [`ReplySink`]: formats the response on the worker thread
+/// and posts it to the connection's shard. The admission slot rides
+/// along, so in-flight accounting covers the whole dispatcher queue
+/// residency. Dropping the sink without completion (a worker panicked
+/// past the job) produces the typed retriable error the drop contract
+/// requires.
+struct ReactorReply {
+    inner: Option<ReplyInner>,
+}
+
+struct ReplyInner {
+    shared: Arc<Shared>,
+    mailbox: Mailbox<Completion>,
+    token: Token,
+    proto: Proto,
+    received: Instant,
+    cmd: &'static str,
+    name: String,
+    want_values: bool,
+    _guard: InflightGuard,
+}
+
+impl ReplyInner {
+    fn finish(self, response: Response) {
+        let ReplyInner {
+            shared,
+            mailbox,
+            token,
+            proto,
+            received,
+            cmd,
+            _guard: guard,
+            ..
+        } = self;
+        // Release the admission slot *before* the completion is posted:
+        // the instant the post lands, the client can see the response
+        // and fire its next request, which must find the slot free
+        // (exactly the ordering the thread-per-connection server had).
+        drop(guard);
+        finish(
+            &shared, &mailbox, token, proto, received, cmd, response, false,
+        );
+    }
+}
+
+impl ReplySink for ReactorReply {
+    fn complete(mut self: Box<Self>, result: Result<JobOutput, JobError>) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let response = match result {
+            Ok(output) => {
+                if inner.want_values {
+                    Response::Trace {
+                        name: inner.name.clone(),
+                        values: output.values.unwrap_or_default(),
+                    }
+                } else {
+                    Response::Eval {
+                        name: inner.name.clone(),
+                        transitions: output.summary.transitions,
+                        sum_ff: output.summary.sum_ff,
+                        max_ff: output.summary.max_ff,
+                    }
+                }
+            }
+            Err(JobError::DeadlineExceeded) => Response::Error {
+                kind: ErrorKind::DeadlineExceeded,
+                message: "deadline expired in queue".to_owned(),
+                retry_after_ms: None,
+            },
+            Err(JobError::Shed) => Response::Error {
+                kind: ErrorKind::Overloaded,
+                message: "dispatch queue full".to_owned(),
+                retry_after_ms: Some(RETRY_AFTER_MS),
+            },
+        };
+        inner.finish(response);
+    }
+}
+
+impl Drop for ReactorReply {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            // The executing worker panicked mid-batch and the supervisor
+            // is restarting it; the request itself was fine.
+            inner.finish(Response::Error {
+                kind: ErrorKind::Internal,
+                message: "dispatcher dropped the job (worker restarted); safe to retry".to_owned(),
+                retry_after_ms: Some(RETRY_AFTER_MS),
+            });
+        }
+    }
+}

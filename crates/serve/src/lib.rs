@@ -1,24 +1,40 @@
-//! charfree-serve: a multi-threaded power-estimation server.
+//! charfree-serve: a reactor-based power-estimation server.
 //!
 //! Exposes the whole characterization-free pipeline — netlist → ADD
-//! power model → compiled kernel → batched trace evaluation — over a
-//! newline-delimited JSON TCP protocol, std-only (no async runtime).
+//! power model → compiled kernel → batched trace evaluation — over TCP,
+//! std-only (no async runtime, no dependencies).
 //!
 //! What makes it more than a socket wrapper:
 //!
-//! * **Warm model registry** ([`ModelRegistry`]): compiled kernels are
-//!   shared across connections under a byte-budget LRU, and cold loads
-//!   go through the content-addressed artifact store, so a warm `load`
-//!   performs zero ADD apply steps.
+//! * **Nonblocking reactor front end** ([`frontend`], crate
+//!   `charfree-net`): N epoll shard threads own all connection I/O with
+//!   edge-triggered readiness and write backpressure; a fixed service
+//!   pool does parsing/admission/model resolution. No thread is parked
+//!   per connection, so thousands of idle connections cost nothing.
+//! * **Dual wire protocols** ([`proto`], [`wire`]): newline-delimited
+//!   JSON and a length-prefixed binary protocol (magic `CFB1`, version
+//!   negotiation) share one port — the first byte decides. Results are
+//!   bit-identical across both (f64s travel as IEEE-754 bits in either
+//!   encoding).
+//! * **Warm sharded model registry** ([`ShardedRegistry`]): compiled
+//!   kernels are shared across connections under a global byte-budget
+//!   split over hash shards (per-shard LRU + per-shard build locks), and
+//!   cold loads go through the content-addressed artifact store, so a
+//!   warm `load` performs zero ADD apply steps.
 //! * **Cross-connection micro-batching** ([`batch`]): concurrent eval
 //!   requests are coalesced into shared 64-lane pattern blocks under a
 //!   configurable window — with results bit-identical to evaluating
 //!   each request alone (see the module docs for why that holds).
 //! * **Admission control and graceful drain** ([`server`]): bounded
 //!   queues everywhere, typed `overloaded` shedding with
-//!   `retry_after_ms`, and a `shutdown` command that stops accepting,
-//!   flushes every accepted request and lets the process exit 0.
-//!   SIGTERM/SIGINT trigger the same drain on unix.
+//!   `retry_after_ms`, per-connection idle timeouts (slow-loris guard),
+//!   and a `shutdown` command that stops accepting, flushes every
+//!   accepted request and lets the process exit 0. SIGTERM/SIGINT
+//!   trigger the same drain on unix.
+//! * **Observability** ([`metrics`], [`stats`]): one snapshot serves the
+//!   `stats`/`metrics` wire commands, `GET /metrics` on the main port,
+//!   and an optional dedicated metrics listener, all in the Prometheus
+//!   text format with stable counter names.
 //! * **Supervision and self-healing** ([`supervisor`], [`batch`]):
 //!   worker panics are caught and the worker restarts under capped
 //!   exponential backoff; repeated model-build failures trip a
@@ -32,17 +48,22 @@
 
 pub mod batch;
 pub mod client;
+mod frontend;
 pub mod json;
+pub mod metrics;
 pub mod proto;
 pub mod registry;
 pub mod server;
 pub mod stats;
 pub mod supervisor;
+pub mod wire;
 
-pub use batch::{BatchHandle, Dispatcher, Job, JobError, JobFault, JobOutput};
-pub use client::{Client, RetryPolicy};
+pub use batch::{
+    BatchHandle, ChannelReply, Dispatcher, Job, JobError, JobFault, JobOutput, ReplySink,
+};
+pub use client::{Client, Proto, RetryPolicy};
 pub use proto::{ErrorKind, Request, Response, WireBuildOptions, WireEvalParams};
-pub use registry::ModelRegistry;
+pub use registry::{ModelRegistry, ShardedRegistry};
 pub use server::{DrainHandle, ServeConfig, Server};
 pub use stats::ServerStats;
 pub use supervisor::{BreakerConfig, BreakerDecision, CircuitBreaker};

@@ -1,0 +1,243 @@
+//! Plaintext metrics exposition.
+//!
+//! Renders the stats snapshot in the Prometheus text format (counter
+//! name, space, value, newline; labels in braces). The same body is
+//! served three ways — `GET /metrics` on the main port, the dedicated
+//! `--metrics-addr` listener, and the `metrics` wire command (JSON
+//! `{"cmd":"metrics"}` or binary frame `0x07`) — so scrapers, humans
+//! with `curl`, and protocol clients all read identical numbers.
+//!
+//! Metric names are stable API: the CI metrics-scrape smoke asserts on
+//! them, so renames are breaking changes.
+
+use crate::json::Json;
+
+/// The `Content-Type` the HTTP endpoints serve.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+fn num(obj: &Json, key: &str) -> u64 {
+    obj.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn push(out: &mut String, name: &str, value: u64) {
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Renders the stats snapshot (as produced by
+/// [`ServerStats::snapshot`](crate::stats::ServerStats::snapshot)) as
+/// the metrics exposition body.
+pub fn render(snapshot: &Json) -> String {
+    let mut out = String::with_capacity(2048);
+
+    out.push_str("# charfree power-estimation server metrics\n");
+    push(
+        &mut out,
+        "charfree_accepted_total",
+        num(snapshot, "accepted"),
+    );
+    push(
+        &mut out,
+        "charfree_completed_total",
+        num(snapshot, "completed"),
+    );
+    push(&mut out, "charfree_errors_total", num(snapshot, "errors"));
+    push(&mut out, "charfree_shed_total", num(snapshot, "shed"));
+
+    if let Some(Json::Obj(cmds)) = snapshot.get("per_command") {
+        for (cmd, count) in cmds {
+            if let Some(count) = count.as_u64() {
+                out.push_str(&format!(
+                    "charfree_requests_total{{cmd=\"{cmd}\"}} {count}\n"
+                ));
+            }
+        }
+    }
+
+    if let Some(latency) = snapshot.get("latency_us") {
+        for q in ["p50", "p95", "p99"] {
+            out.push_str(&format!(
+                "charfree_latency_us{{quantile=\"{q}\"}} {}\n",
+                num(latency, q)
+            ));
+        }
+    }
+
+    push(&mut out, "charfree_batches_total", num(snapshot, "batches"));
+    push(
+        &mut out,
+        "charfree_batched_requests_total",
+        num(snapshot, "batched_requests"),
+    );
+    if let Some(Json::Arr(fill)) = snapshot.get("batch_fill") {
+        for (i, bucket) in fill.iter().enumerate() {
+            match bucket.as_u64() {
+                Some(count) if count > 0 => {
+                    out.push_str(&format!(
+                        "charfree_batch_fill{{lanes=\"{}\"}} {count}\n",
+                        i + 1
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if let Some(registry) = snapshot.get("registry") {
+        push(
+            &mut out,
+            "charfree_registry_entries",
+            num(registry, "entries"),
+        );
+        push(&mut out, "charfree_registry_bytes", num(registry, "bytes"));
+        push(
+            &mut out,
+            "charfree_registry_hits_total",
+            num(registry, "hits"),
+        );
+        push(
+            &mut out,
+            "charfree_registry_misses_total",
+            num(registry, "misses"),
+        );
+        push(
+            &mut out,
+            "charfree_registry_evictions_total",
+            num(registry, "evictions"),
+        );
+        push(
+            &mut out,
+            "charfree_registry_shards",
+            num(registry, "shards"),
+        );
+    }
+
+    if let Some(res) = snapshot.get("resilience") {
+        push(
+            &mut out,
+            "charfree_worker_panics_total",
+            num(res, "worker_panics"),
+        );
+        push(
+            &mut out,
+            "charfree_breaker_trips_total",
+            num(res, "breaker_trips"),
+        );
+        push(
+            &mut out,
+            "charfree_breaker_denials_total",
+            num(res, "breaker_denials"),
+        );
+        push(
+            &mut out,
+            "charfree_breaker_open_circuits",
+            num(res, "open_circuits"),
+        );
+        push(
+            &mut out,
+            "charfree_idle_timeouts_total",
+            num(res, "idle_timeouts"),
+        );
+    }
+
+    if let Some(net) = snapshot.get("net") {
+        push(
+            &mut out,
+            "charfree_net_connections_total",
+            num(net, "connections"),
+        );
+        push(
+            &mut out,
+            "charfree_net_bytes_in_total",
+            num(net, "bytes_in"),
+        );
+        push(
+            &mut out,
+            "charfree_net_bytes_out_total",
+            num(net, "bytes_out"),
+        );
+        for reason in charfree_net::CloseReason::all() {
+            let key = format!("closed_{}", reason.name().replace('-', "_"));
+            out.push_str(&format!(
+                "charfree_net_closed_total{{reason=\"{}\"}} {}\n",
+                reason.name(),
+                num(net, &key)
+            ));
+        }
+    }
+
+    out
+}
+
+/// Wraps a metrics body as a minimal `HTTP/1.0` response with
+/// connection close (all three serving paths keep HTTP handling this
+/// small on purpose; scrapers and `curl` both accept it).
+pub fn http_response(body: &str) -> String {
+    format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: {CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// The 404 answer for any HTTP path other than `/metrics`.
+pub fn http_not_found() -> String {
+    let body = "only GET /metrics is served\n";
+    format!(
+        "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ShardedRegistry;
+    use crate::stats::ServerStats;
+    use crate::supervisor::{BreakerConfig, CircuitBreaker};
+
+    #[test]
+    fn renders_the_stable_counter_names() {
+        let stats = ServerStats::new();
+        stats.record_accepted("eval");
+        stats.record_accepted("tracep");
+        stats.record_completed(420);
+        stats.record_error();
+        stats.record_batch(2, 33);
+        stats.record_idle_timeout();
+        let registry = ShardedRegistry::new(8, 1 << 20);
+        let breaker = CircuitBreaker::new(BreakerConfig::default());
+        let net = charfree_net::NetCounters::default();
+        net.accepted
+            .fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        net.record_close(charfree_net::CloseReason::Idle);
+
+        let body = render(&stats.snapshot(&registry, &breaker, Some(&net)));
+        for needle in [
+            "charfree_accepted_total 2",
+            "charfree_completed_total 1",
+            "charfree_errors_total 1",
+            "charfree_requests_total{cmd=\"eval\"} 1",
+            "charfree_requests_total{cmd=\"tracep\"} 1",
+            "charfree_latency_us{quantile=\"p50\"} 512",
+            "charfree_batches_total 1",
+            "charfree_batch_fill{lanes=\"33\"} 1",
+            "charfree_registry_shards 8",
+            "charfree_worker_panics_total 0",
+            "charfree_idle_timeouts_total 1",
+            "charfree_net_connections_total 3",
+            "charfree_net_closed_total{reason=\"idle\"} 1",
+        ] {
+            assert!(body.contains(needle), "missing `{needle}` in:\n{body}");
+        }
+    }
+
+    #[test]
+    fn http_wrapper_carries_exact_content_length() {
+        let resp = http_response("abc\n");
+        assert!(resp.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(resp.contains("Content-Length: 4\r\n"));
+        assert!(resp.ends_with("\r\n\r\nabc\n"));
+    }
+}

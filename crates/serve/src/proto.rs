@@ -167,8 +167,24 @@ pub enum Request {
         /// Transition probability.
         st: f64,
     },
+    /// Batched per-transition trace over *explicit* patterns (the
+    /// binary protocol's native request; JSON spells it `tracep` with
+    /// patterns as `"0101…"` bit strings, most significant input
+    /// first — the same convention as netlist truth tables).
+    TraceDirect {
+        /// Model operand (auto-loaded on registry miss).
+        source: String,
+        /// Build options (see [`Request::Eval`]).
+        options: WireBuildOptions,
+        /// Explicit input patterns; `len - 1` transitions are evaluated.
+        patterns: Vec<Vec<bool>>,
+        /// Per-request deadline in milliseconds.
+        deadline_ms: Option<u64>,
+    },
     /// Server counters and latency/batch-fill histograms.
     Stats,
+    /// Plaintext metrics (the same payload `GET /metrics` serves).
+    Metrics,
     /// Graceful drain: stop accepting, flush in-flight work, exit 0.
     Shutdown,
 }
@@ -180,8 +196,10 @@ impl Request {
             Request::Load { .. } => "load",
             Request::Eval { .. } => "eval",
             Request::Trace { .. } => "trace",
+            Request::TraceDirect { .. } => "tracep",
             Request::Expected { .. } => "expected",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
     }
@@ -208,12 +226,28 @@ impl Request {
                 options.to_model_json_fields(&mut fields);
                 params.to_json_fields(&mut fields);
             }
+            Request::TraceDirect {
+                source,
+                options,
+                patterns,
+                deadline_ms,
+            } => {
+                fields.push(("source".to_owned(), Json::Str(source.clone())));
+                options.to_model_json_fields(&mut fields);
+                fields.push((
+                    "patterns".to_owned(),
+                    Json::Arr(patterns.iter().map(|p| Json::Str(bits_to_str(p))).collect()),
+                ));
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".to_owned(), Json::num(ms)));
+                }
+            }
             Request::Expected { source, sp, st } => {
                 fields.push(("source".to_owned(), Json::Str(source.clone())));
                 fields.push(("sp".to_owned(), Json::num(sp)));
                 fields.push(("st".to_owned(), Json::num(st)));
             }
-            Request::Stats | Request::Shutdown => {}
+            Request::Stats | Request::Metrics | Request::Shutdown => {}
         }
         Json::Obj(fields).to_line()
     }
@@ -244,12 +278,28 @@ impl Request {
                 options: WireBuildOptions::from_model_json(&obj)?,
                 params: WireEvalParams::from_json(&obj)?,
             }),
+            "tracep" => {
+                let patterns = obj
+                    .get("patterns")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing `patterns` array")?
+                    .iter()
+                    .map(|p| bits_from_str(p.as_str().ok_or("non-string pattern")?))
+                    .collect::<Result<Vec<Vec<bool>>, String>>()?;
+                Ok(Request::TraceDirect {
+                    source: req_str(&obj, "source")?,
+                    options: WireBuildOptions::from_model_json(&obj)?,
+                    patterns,
+                    deadline_ms: opt_u64(&obj, "deadline_ms")?,
+                })
+            }
             "expected" => Ok(Request::Expected {
                 source: req_str(&obj, "source")?,
                 sp: req_f64(&obj, "sp")?,
                 st: req_f64(&obj, "st")?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown command `{other}`")),
         }
@@ -276,6 +326,10 @@ pub enum ErrorKind {
     /// The model's build circuit breaker is open after repeated build
     /// failures; retry after `retry_after_ms`.
     ModelUnavailable,
+    /// The connection sat idle past the server's idle timeout and is
+    /// being closed (slow-loris guard). The error is a courtesy notice;
+    /// the close follows immediately.
+    Timeout,
     /// Anything else (I/O on the server side, poisoned state).
     Internal,
 }
@@ -291,6 +345,7 @@ impl ErrorKind {
             ErrorKind::Unsupported => "unsupported",
             ErrorKind::Draining => "draining",
             ErrorKind::ModelUnavailable => "model-unavailable",
+            ErrorKind::Timeout => "timeout",
             ErrorKind::Internal => "internal",
         }
     }
@@ -304,6 +359,38 @@ impl ErrorKind {
             "unsupported" => ErrorKind::Unsupported,
             "draining" => ErrorKind::Draining,
             "model-unavailable" => ErrorKind::ModelUnavailable,
+            "timeout" => ErrorKind::Timeout,
+            _ => ErrorKind::Internal,
+        }
+    }
+
+    /// Stable single-byte code for the binary protocol's error frames.
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorKind::Internal => 0,
+            ErrorKind::Overloaded => 1,
+            ErrorKind::BadRequest => 2,
+            ErrorKind::BuildFailed => 3,
+            ErrorKind::DeadlineExceeded => 4,
+            ErrorKind::Unsupported => 5,
+            ErrorKind::Draining => 6,
+            ErrorKind::ModelUnavailable => 7,
+            ErrorKind::Timeout => 8,
+        }
+    }
+
+    /// The inverse of [`code`](ErrorKind::code); unknown codes collapse
+    /// to `Internal` (same policy as unknown wire names).
+    pub fn from_code(code: u8) -> ErrorKind {
+        match code {
+            1 => ErrorKind::Overloaded,
+            2 => ErrorKind::BadRequest,
+            3 => ErrorKind::BuildFailed,
+            4 => ErrorKind::DeadlineExceeded,
+            5 => ErrorKind::Unsupported,
+            6 => ErrorKind::Draining,
+            7 => ErrorKind::ModelUnavailable,
+            8 => ErrorKind::Timeout,
             _ => ErrorKind::Internal,
         }
     }
@@ -364,6 +451,9 @@ pub enum Response {
     },
     /// `stats` payload (pre-rendered by the stats module).
     Stats(Json),
+    /// `metrics` payload: the plaintext exposition body, identical to
+    /// what `GET /metrics` serves over HTTP.
+    Metrics(String),
     /// `shutdown` acknowledged; the server drains after this line.
     Shutdown,
     /// A typed failure.
@@ -444,6 +534,11 @@ impl Response {
                 fields.push(("kind".to_owned(), Json::Str("stats".to_owned())));
                 fields.push(("stats".to_owned(), payload.clone()));
             }
+            Response::Metrics(text) => {
+                fields.push(("ok".to_owned(), Json::Bool(true)));
+                fields.push(("kind".to_owned(), Json::Str("metrics".to_owned())));
+                fields.push(("text".to_owned(), Json::Str(text.clone())));
+            }
             Response::Shutdown => {
                 fields.push(("ok".to_owned(), Json::Bool(true)));
                 fields.push(("kind".to_owned(), Json::Str("shutdown".to_owned())));
@@ -514,11 +609,35 @@ impl Response {
             Some("stats") => Ok(Response::Stats(
                 obj.get("stats").cloned().unwrap_or(Json::Null),
             )),
+            Some("metrics") => Ok(Response::Metrics(req_str(&obj, "text")?)),
             Some("shutdown") => Ok(Response::Shutdown),
             Some(other) => Err(format!("unknown response kind `{other}`")),
             None => Err("missing `kind` field".to_owned()),
         }
     }
+}
+
+/// Renders a pattern as a `"0101…"` bit string (index 0 first).
+pub fn bits_to_str(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+/// Parses a `"0101…"` bit string back to a pattern.
+///
+/// # Errors
+///
+/// Rejects empty strings and non-`0`/`1` characters.
+pub fn bits_from_str(s: &str) -> Result<Vec<bool>, String> {
+    if s.is_empty() {
+        return Err("empty pattern".to_owned());
+    }
+    s.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("bad pattern bit {other:?}")),
+        })
+        .collect()
 }
 
 /// Renders an `f64` as its 16-hex-digit IEEE-754 bit pattern.
@@ -620,12 +739,22 @@ mod tests {
                     deadline_ms: Some(10),
                 },
             },
+            Request::TraceDirect {
+                source: "decod".to_owned(),
+                options: WireBuildOptions::default(),
+                patterns: vec![
+                    vec![false, true, false, true, true],
+                    vec![true, true, false, false, false],
+                ],
+                deadline_ms: Some(100),
+            },
             Request::Expected {
                 source: "decod".to_owned(),
                 sp: 0.1,
                 st: 0.9,
             },
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -680,6 +809,7 @@ mod tests {
                 name: "decod".to_owned(),
                 value: -0.0,
             },
+            Response::Metrics("charfree_requests_total 7\ncharfree_batches_total 3\n".to_owned()),
             Response::Shutdown,
             Response::Error {
                 kind: ErrorKind::Overloaded,
@@ -704,10 +834,14 @@ mod tests {
             ErrorKind::Unsupported,
             ErrorKind::Draining,
             ErrorKind::ModelUnavailable,
+            ErrorKind::Timeout,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::from_name(kind.name()), kind);
+            assert_eq!(ErrorKind::from_code(kind.code()), kind);
         }
+        // Unknown binary codes collapse to Internal, never panic.
+        assert_eq!(ErrorKind::from_code(250), ErrorKind::Internal);
     }
 
     #[test]
@@ -719,7 +853,23 @@ mod tests {
         assert!(!ErrorKind::BuildFailed.retriable());
         assert!(!ErrorKind::DeadlineExceeded.retriable());
         assert!(!ErrorKind::Unsupported.retriable());
+        assert!(!ErrorKind::Timeout.retriable());
         assert!(!ErrorKind::Internal.retriable());
+    }
+
+    #[test]
+    fn tracep_rejects_malformed_patterns() {
+        for bad in [
+            r#"{"cmd":"tracep","source":"d"}"#,
+            r#"{"cmd":"tracep","source":"d","patterns":["01","0x"]}"#,
+            r#"{"cmd":"tracep","source":"d","patterns":[""]}"#,
+            r#"{"cmd":"tracep","source":"d","patterns":[7]}"#,
+        ] {
+            assert!(
+                Request::parse_line(bad).is_err(),
+                "`{bad}` must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -150,6 +150,109 @@ impl ModelRegistry {
     }
 }
 
+/// FNV-1a 64-bit hash (the registry's shard router; stable, std-only,
+/// and good enough to spread registry keys uniformly).
+fn fnv1a(key: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A key-hash-sharded registry: N independent [`ModelRegistry`] shards
+/// splitting one global byte budget, each with its own build lock.
+///
+/// Sharding removes the two global chokepoints of the single registry:
+/// the registry mutex (every request's resolve path) and the build lock
+/// (held across entire cold model builds — previously one slow build
+/// serialized *all* cold builds). Keys route by FNV-1a hash, so a key's
+/// shard is stable across restarts and across the wire.
+pub struct ShardedRegistry {
+    shards: Vec<ModelRegistry>,
+    build_locks: Vec<Mutex<()>>,
+}
+
+impl ShardedRegistry {
+    /// Default shard count.
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// Creates `shards` shards splitting `budget_bytes` evenly (each
+    /// shard gets at least one byte so oversized-entry handling keeps
+    /// working).
+    pub fn new(shards: usize, budget_bytes: usize) -> ShardedRegistry {
+        let shards = shards.clamp(1, 256);
+        let per_shard = (budget_bytes / shards).max(1);
+        ShardedRegistry {
+            shards: (0..shards).map(|_| ModelRegistry::new(per_shard)).collect(),
+            build_locks: (0..shards).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key routes to.
+    pub fn shard_index(&self, key: &str) -> usize {
+        (fnv1a(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Looks up a kernel, refreshing recency in its shard.
+    pub fn get(&self, key: &str) -> Option<Arc<Kernel>> {
+        self.shards[self.shard_index(key)].get(key)
+    }
+
+    /// Inserts (or refreshes) a kernel in its shard, evicting that
+    /// shard's LRU entries past the per-shard budget.
+    pub fn insert(&self, key: &str, kernel: Arc<Kernel>) {
+        self.shards[self.shard_index(key)].insert(key, kernel);
+    }
+
+    /// The build lock for `key`'s shard: cold builds serialize within a
+    /// shard (so identical concurrent requests build once) but never
+    /// across shards.
+    pub fn build_lock(&self, key: &str) -> &Mutex<()> {
+        &self.build_locks[self.shard_index(key)]
+    }
+
+    /// Counters summed across shards: (resident entries, resident
+    /// bytes, hits, misses, evictions).
+    pub fn stats(&self) -> (usize, usize, u64, u64, u64) {
+        let mut total = (0usize, 0usize, 0u64, 0u64, 0u64);
+        for shard in &self.shards {
+            let (entries, bytes, hits, misses, evictions) = shard.stats();
+            total.0 += entries;
+            total.1 += bytes;
+            total.2 += hits;
+            total.3 += misses;
+            total.4 += evictions;
+        }
+        total
+    }
+
+    /// Per-shard counters, in shard order (for metrics and tests).
+    pub fn per_shard_stats(&self) -> Vec<(usize, usize, u64, u64, u64)> {
+        self.shards.iter().map(ModelRegistry::stats).collect()
+    }
+
+    /// Reconciles every shard's byte ledger.
+    ///
+    /// # Errors
+    ///
+    /// The first shard divergence found, prefixed with its shard index.
+    pub fn verify_ledger(&self) -> Result<(), String> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard
+                .verify_ledger()
+                .map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +379,111 @@ mod tests {
         // (just-inserted) entry allows.
         let max_kernel = kernels.iter().map(|k| k.bytes()).max().unwrap_or(0);
         assert!(bytes <= budget + max_kernel, "bytes={bytes}");
+    }
+
+    /// Two keys guaranteed to live on different shards of an N-shard
+    /// registry.
+    fn cross_shard_keys(reg: &ShardedRegistry) -> (String, String) {
+        let a = "k0".to_owned();
+        let shard_a = reg.shard_index(&a);
+        for i in 1..10_000 {
+            let b = format!("k{i}");
+            if reg.shard_index(&b) != shard_a {
+                return (a, b);
+            }
+        }
+        panic!("no cross-shard key pair found in 10k candidates");
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let reg = ShardedRegistry::new(8, 1 << 20);
+        for i in 0..1000 {
+            let key = format!("model-{i}\0strict=false");
+            let shard = reg.shard_index(&key);
+            assert!(shard < reg.shard_count());
+            assert_eq!(shard, reg.shard_index(&key), "routing must be stable");
+        }
+    }
+
+    #[test]
+    fn a_held_build_lock_on_one_shard_never_blocks_another() {
+        use std::sync::mpsc::channel;
+        use std::time::Duration;
+
+        let reg = std::sync::Arc::new(ShardedRegistry::new(8, usize::MAX));
+        let (key_a, key_b) = cross_shard_keys(&reg);
+        let kernel = kernel_for(benchmarks::decod);
+
+        // Simulate a slow cold build on key_a's shard: hold its build
+        // lock for the whole test.
+        let guard = reg.build_lock(&key_a).lock().expect("lock a");
+        let (done_tx, done_rx) = channel();
+        let reg2 = std::sync::Arc::clone(&reg);
+        let kernel2 = Arc::clone(&kernel);
+        let key_b2 = key_b.clone();
+        let worker = std::thread::spawn(move || {
+            // A cold resolve of key_b: probe, take key_b's build lock,
+            // insert. Under the old global build lock this deadlocks
+            // against the held guard; under sharding it must finish.
+            assert!(reg2.get(&key_b2).is_none());
+            let _guard_b = reg2.build_lock(&key_b2).lock().expect("lock b");
+            reg2.insert(&key_b2, kernel2);
+            done_tx.send(()).expect("report completion");
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("cross-shard resolve must not block on shard A's build lock");
+        worker.join().expect("worker joins");
+        drop(guard);
+        assert!(reg.get(&key_b).is_some());
+    }
+
+    #[test]
+    fn concurrent_cross_shard_churn_sums_eviction_accounting_correctly() {
+        let kernels: Vec<Arc<Kernel>> = vec![
+            kernel_for(benchmarks::decod),
+            kernel_for(benchmarks::cm85),
+            kernel_for(benchmarks::mux),
+        ];
+        // Per-shard budget fits barely one kernel so churn evicts in
+        // every shard that sees more than one key.
+        let min_bytes = kernels.iter().map(|k| k.bytes()).min().unwrap_or(1);
+        let reg = ShardedRegistry::new(4, min_bytes * 4);
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let reg = &reg;
+                let kernels = &kernels;
+                scope.spawn(move || {
+                    for round in 0..200usize {
+                        let i = (t + round) % 12;
+                        let key = format!("k{i}");
+                        let kernel = &kernels[i % kernels.len()];
+                        match reg.get(&key) {
+                            Some(k) => assert_eq!(k.bytes(), kernel.bytes()),
+                            None => reg.insert(&key, Arc::clone(kernel)),
+                        }
+                    }
+                });
+            }
+        });
+        reg.verify_ledger().expect("every shard ledger reconciles");
+        let summed = reg.stats();
+        let per_shard = reg.per_shard_stats();
+        let fold = per_shard.iter().fold((0, 0, 0, 0, 0), |acc, s| {
+            (
+                acc.0 + s.0,
+                acc.1 + s.1,
+                acc.2 + s.2,
+                acc.3 + s.3,
+                acc.4 + s.4,
+            )
+        });
+        assert_eq!(summed, fold, "global stats must equal per-shard sum");
+        assert!(summed.4 > 0, "per-shard budget pressure must have evicted");
+        assert!(
+            per_shard.iter().filter(|s| s.2 + s.3 > 0).count() > 1,
+            "keys must actually spread across shards"
+        );
     }
 }

@@ -1,57 +1,62 @@
-//! The TCP server: accept loop, per-connection protocol handling,
-//! admission control and graceful drain.
+//! The TCP server: acceptor, reactor front end, service pool, admission
+//! control and graceful drain.
 //!
-//! Threading model: one acceptor thread, one detached thread per
-//! connection, plus the dispatcher's coordinator + worker pool
-//! ([`crate::batch`]). Connections never evaluate kernels themselves —
-//! they parse requests, resolve models through the shared
-//! [`ModelRegistry`], submit jobs to the dispatcher and block on the
-//! per-job reply channel, which is what lets requests from different
-//! sockets share 64-lane pattern blocks.
+//! Threading model: one acceptor thread hands sockets to N reactor
+//! shard threads (crate `charfree-net`, epoll edge-triggered) that own
+//! all connection I/O and framing; a fixed service pool parses requests,
+//! runs admission and model resolution, and submits dispatcher jobs
+//! whose reply sinks post encoded responses back to the owning shard
+//! (see [`crate::frontend`]); the dispatcher coordinator + worker pool
+//! ([`crate::batch`]) evaluates, which is what lets requests from
+//! different sockets share 64-lane pattern blocks. No thread is ever
+//! parked per connection.
 //!
-//! Admission control is two-layered: a connection cap at accept time and
-//! a request-level in-flight cap (`max_inflight`) enforced with a single
-//! atomic. Both shed with typed `overloaded` responses carrying
-//! `retry_after_ms`; nothing blocks behind an unbounded queue.
+//! Admission control is two-layered: a connection cap at accept time
+//! (live connections = registrations minus closes, both lock-free
+//! counters) and a request-level in-flight cap (`max_inflight`) enforced
+//! with a single atomic. Both shed with typed `overloaded` responses
+//! carrying `retry_after_ms`; nothing blocks behind an unbounded queue.
 //!
-//! Drain (`shutdown` request): the draining flag flips, a loopback
-//! connect nudges the blocking acceptor awake, connection threads finish
-//! the request they are on and close at their next read tick, and
-//! [`Server::wait`] joins everything before returning — every accepted
-//! request completes, no new work is admitted.
+//! Drain (`shutdown` request or SIGTERM): the draining flag flips, a
+//! loopback connect nudges the blocking acceptor awake, the reactor
+//! shards finish in-flight requests and close their connections, and
+//! [`Server::wait`] joins acceptor → reactor → service pool →
+//! dispatcher — every accepted request completes, no new work is
+//! admitted.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, OnceLock};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use charfree_engine::Kernel;
+use charfree_net::{
+    NetCounters, Reactor, ReactorConfig, ReactorHandle, StreamTap, TapFault, Token,
+};
 use charfree_netlist::Library;
 use charfree_pipeline::{
     ArtifactStore, BuildOptions, FaultIo, PipelineCtx, PipelineError, Source, StreamFault, StreamOp,
 };
-use charfree_sim::MarkovSource;
 
-use crate::batch::{BatchHandle, Dispatcher, Job, JobError};
-use crate::proto::{ErrorKind, Request, Response, WireBuildOptions, WireEvalParams};
-use crate::registry::ModelRegistry;
+use crate::batch::Dispatcher;
+use crate::frontend::{Completion, Frontend, ServicePool, SvcRequest};
+use crate::json::Json;
+use crate::metrics;
+use crate::proto::{ErrorKind, Response, WireBuildOptions};
+use crate::registry::ShardedRegistry;
 use crate::stats::ServerStats;
 use crate::supervisor::{BreakerConfig, BreakerDecision, CircuitBreaker};
 
-/// How often a blocked connection read wakes up to check the draining
-/// flag.
-const READ_TICK: Duration = Duration::from_millis(250);
-
 /// Longest tolerated request line (a `trace` request is short; this only
 /// guards against garbage streams growing the buffer without bound).
-const MAX_LINE_BYTES: usize = 1 << 20;
+pub(crate) const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Suggested client backoff when a request is shed.
-const RETRY_AFTER_MS: u64 = 25;
+pub(crate) const RETRY_AFTER_MS: u64 = 25;
 
 /// Write timeout for the `overloaded` line sent to a connection rejected
 /// at the cap. The write happens on the acceptor thread; without a
@@ -59,9 +64,9 @@ const RETRY_AFTER_MS: u64 = 25;
 /// send buffer and stall the accept loop for everyone.
 const REJECT_WRITE_TIMEOUT: Duration = Duration::from_millis(100);
 
-/// Ceiling on an injected stream stall, so a mis-tuned fault plan can
-/// slow a connection but never wedge it past its timeouts.
-const MAX_INJECTED_STALL: Duration = Duration::from_millis(200);
+/// Service threads between the reactor and the dispatcher (parse,
+/// admission, model resolution, pattern generation).
+const SERVICE_THREADS: usize = 4;
 
 /// Server construction parameters (the `charfree serve` flags).
 pub struct ServeConfig {
@@ -79,18 +84,25 @@ pub struct ServeConfig {
     /// (pattern storage and, for `trace`, response size) one request can
     /// pin, so a single `vectors=10^10` line cannot OOM the server.
     pub max_vectors: usize,
-    /// Registry byte budget for resident kernels.
+    /// Registry byte budget for resident kernels (shared across all
+    /// registry shards).
     pub model_bytes_budget: usize,
     /// Cell library models are built against.
     pub library: Library,
     /// Content-addressed artifact store directory (warm loads skip the
     /// symbolic build entirely).
     pub cache_dir: Option<PathBuf>,
-    /// Per-connection inactivity cutoff.
+    /// Per-connection inactivity cutoff (slow-loris guard; a connection
+    /// with a request in flight is never idle-closed).
     pub idle_timeout: Duration,
     /// Concurrent-connection cap (excess connections get one
     /// `overloaded` line and are closed).
     pub max_connections: usize,
+    /// Reactor shard threads owning connection I/O.
+    pub reactor_threads: usize,
+    /// Optional dedicated `GET /metrics` listener address (the main
+    /// port also answers `GET /metrics`).
+    pub metrics_addr: Option<String>,
     /// Structured per-request logging to stderr.
     pub log: bool,
     /// Per-model build circuit breaker tuning.
@@ -115,6 +127,8 @@ impl ServeConfig {
             cache_dir: None,
             idle_timeout: Duration::from_secs(30),
             max_connections: 64,
+            reactor_threads: 2,
+            metrics_addr: None,
             log: true,
             breaker: BreakerConfig::default(),
             fault_io: None,
@@ -122,31 +136,92 @@ impl ServeConfig {
     }
 }
 
-struct Shared {
-    library: Library,
-    store: Option<ArtifactStore>,
-    registry: ModelRegistry,
-    stats: Arc<ServerStats>,
-    inflight: AtomicUsize,
-    max_inflight: usize,
-    max_vectors: usize,
-    draining: AtomicBool,
-    conns: Mutex<usize>,
-    conns_cv: Condvar,
-    conn_seq: AtomicU64,
-    build_lock: Mutex<()>,
-    breaker: CircuitBreaker,
-    fault: Option<Arc<dyn FaultIo>>,
-    idle_timeout: Duration,
-    log: bool,
+pub(crate) struct Shared {
+    pub(crate) library: Library,
+    pub(crate) store: Option<ArtifactStore>,
+    pub(crate) registry: ShardedRegistry,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) inflight: AtomicUsize,
+    pub(crate) max_inflight: usize,
+    pub(crate) max_vectors: usize,
+    pub(crate) draining: AtomicBool,
+    pub(crate) breaker: CircuitBreaker,
+    pub(crate) log: bool,
     addr: SocketAddr,
+    /// Set once the reactor is up; `None` only during startup.
+    net: OnceLock<Arc<NetCounters>>,
+    reactor: OnceLock<ReactorHandle<Completion>>,
+    /// Connections handed to the reactor by the acceptor. Live count =
+    /// `registered - net.closed_total()` (registration guarantees
+    /// exactly one close record eventually).
+    registered: AtomicU64,
 }
 
 impl Shared {
-    fn log_line(&self, conn: u64, msg: &str) {
+    pub(crate) fn log_line(&self, token: Token, msg: &str) {
         if self.log {
-            eprintln!("charfree-serve: conn={conn} {msg}");
+            eprintln!("charfree-serve: conn={token:#x} {msg}");
         }
+    }
+
+    /// The full stats snapshot (registry, breaker and net sections
+    /// included) — the one source for `stats`, `metrics` and HTTP.
+    pub(crate) fn snapshot(&self) -> Json {
+        self.stats.snapshot(
+            &self.registry,
+            &self.breaker,
+            self.net.get().map(|c| c.as_ref()),
+        )
+    }
+
+    fn live_connections(&self) -> u64 {
+        let registered = self.registered.load(Ordering::SeqCst);
+        let closed = self.net.get().map_or(0, |c| c.closed_total());
+        registered.saturating_sub(closed)
+    }
+}
+
+/// Owned RAII slot in the request-level admission window. Owned (not
+/// borrowed) so it can ride inside an async reply sink across the
+/// dispatcher queue — the slot frees exactly when the response is
+/// produced, so in-flight accounting covers queue residency.
+pub(crate) struct InflightGuard(Arc<Shared>);
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+pub(crate) fn try_admit(shared: &Arc<Shared>) -> Option<InflightGuard> {
+    shared
+        .inflight
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < shared.max_inflight).then_some(n + 1)
+        })
+        .ok()
+        .map(|_| InflightGuard(Arc::clone(shared)))
+}
+
+/// Adapts the pipeline's injectable I/O faults to the reactor's socket
+/// tap, so one fault plan drives store, read and write paths alike.
+struct FaultTap(Arc<dyn FaultIo>);
+
+fn tap_fault(fault: StreamFault) -> TapFault {
+    match fault {
+        StreamFault::Transient => TapFault::Transient,
+        StreamFault::Short(n) => TapFault::Short(n),
+        StreamFault::Stall(d) => TapFault::Stall(d),
+    }
+}
+
+impl StreamTap for FaultTap {
+    fn read_fault(&self) -> Option<TapFault> {
+        self.0.stream_fault(StreamOp::Read).map(tap_fault)
+    }
+
+    fn write_fault(&self) -> Option<TapFault> {
+        self.0.stream_fault(StreamOp::Write).map(tap_fault)
     }
 }
 
@@ -155,8 +230,12 @@ impl Shared {
 /// [`Server::request_drain`]).
 pub struct Server {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     acceptor: Option<thread::JoinHandle<()>>,
+    reactor: Option<Reactor<Completion>>,
+    services: Option<ServicePool>,
     dispatcher: Option<Dispatcher>,
+    metrics: Option<thread::JoinHandle<()>>,
     shared: Arc<Shared>,
 }
 
@@ -165,7 +244,8 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures (main listener and, when configured, the
+    /// metrics listener) and thread-spawn failures.
     pub fn start(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -200,21 +280,21 @@ impl Server {
         let shared = Arc::new(Shared {
             store,
             library: config.library,
-            registry: ModelRegistry::new(config.model_bytes_budget.max(1)),
+            registry: ShardedRegistry::new(
+                ShardedRegistry::DEFAULT_SHARDS,
+                config.model_bytes_budget.max(1),
+            ),
             stats: Arc::clone(&stats),
             inflight: AtomicUsize::new(0),
             max_inflight: config.max_inflight.max(1),
             max_vectors: config.max_vectors.max(2),
             draining: AtomicBool::new(false),
-            conns: Mutex::new(0),
-            conns_cv: Condvar::new(),
-            conn_seq: AtomicU64::new(0),
-            build_lock: Mutex::new(()),
             breaker: CircuitBreaker::new(config.breaker),
-            fault: config.fault_io,
-            idle_timeout: config.idle_timeout,
             log: config.log,
             addr,
+            net: OnceLock::new(),
+            reactor: OnceLock::new(),
+            registered: AtomicU64::new(0),
         });
         let dispatcher = Dispatcher::start(
             config.jobs.max(1),
@@ -222,19 +302,74 @@ impl Server {
             shared.max_inflight,
             stats,
         );
-        let handle = dispatcher.handle();
+        let batch = dispatcher.handle();
+
+        // Service queue: sized so that every connection can have one
+        // request queued before the front end sheds.
+        let svc_cap = config.max_connections.max(config.max_inflight).max(64);
+        let (svc_tx, svc_rx) = sync_channel::<SvcRequest>(svc_cap);
+
+        let factory_shared = Arc::clone(&shared);
+        let factory = Arc::new(move |_token: Token| {
+            Box::new(Frontend::new(Arc::clone(&factory_shared), svc_tx.clone()))
+                as Box<dyn charfree_net::Handler<Completion>>
+        });
+        let tap = config
+            .fault_io
+            .as_ref()
+            .map(|io| Arc::new(FaultTap(Arc::clone(io))) as Arc<dyn StreamTap>);
+        let reactor = Reactor::start(
+            ReactorConfig {
+                shards: config.reactor_threads.max(1),
+                idle_timeout: config.idle_timeout,
+                ..ReactorConfig::default()
+            },
+            factory,
+            tap,
+        )?;
+        let _ = shared.net.set(reactor.counters());
+        let _ = shared.reactor.set(reactor.handle());
+
+        let services =
+            ServicePool::start(SERVICE_THREADS, svc_rx, &shared, &batch, &reactor.mailbox())?;
+
         let accept_shared = Arc::clone(&shared);
+        let accept_handle = reactor.handle();
         let max_connections = config.max_connections.max(1);
         let acceptor = thread::Builder::new()
             .name("charfree-serve-accept".to_owned())
-            .spawn(move || accept_loop(&listener, &accept_shared, &handle, max_connections))?;
+            .spawn(move || {
+                accept_loop(&listener, &accept_shared, &accept_handle, max_connections);
+            })?;
+
+        let (metrics_addr, metrics) = match &config.metrics_addr {
+            Some(maddr) => {
+                let mlistener = TcpListener::bind(maddr)?;
+                let maddr = mlistener.local_addr()?;
+                mlistener.set_nonblocking(true)?;
+                let mshared = Arc::clone(&shared);
+                let handle = thread::Builder::new()
+                    .name("charfree-serve-metrics".to_owned())
+                    .spawn(move || metrics_loop(&mlistener, &mshared))?;
+                (Some(maddr), Some(handle))
+            }
+            None => (None, None),
+        };
+
         if shared.log {
             eprintln!("charfree-serve: listening on {addr}");
+            if let Some(maddr) = metrics_addr {
+                eprintln!("charfree-serve: metrics on http://{maddr}/metrics");
+            }
         }
         Ok(Server {
             addr,
+            metrics_addr,
             acceptor: Some(acceptor),
+            reactor: Some(reactor),
+            services: Some(services),
             dispatcher: Some(dispatcher),
+            metrics,
             shared,
         })
     }
@@ -244,8 +379,14 @@ impl Server {
         self.addr
     }
 
-    /// Flips the draining flag and wakes the acceptor, as if a
-    /// `shutdown` request had arrived.
+    /// The bound metrics address, when a dedicated listener was
+    /// configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// Flips the draining flag and wakes the acceptor and reactor, as if
+    /// a `shutdown` request had arrived.
     pub fn request_drain(&self) {
         begin_drain(&self.shared);
     }
@@ -268,21 +409,29 @@ impl Server {
     /// Blocks until the server has fully drained: acceptor joined, every
     /// connection closed, every accepted job flushed through the
     /// dispatcher.
+    ///
+    /// Join order matters: the reactor shards exit only once their
+    /// connection slabs are empty, and a connection with a request in
+    /// flight stays in the slab until its completion arrives — so
+    /// joining the reactor transitively waits for the service pool and
+    /// dispatcher to answer everything that was accepted. Joining the
+    /// service pool after the reactor is safe because the reactor
+    /// threads (via the handler factory) hold the only frame senders.
     pub fn wait(mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        let mut conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
-        while *conns > 0 {
-            conns = self
-                .shared
-                .conns_cv
-                .wait(conns)
-                .unwrap_or_else(|e| e.into_inner());
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join();
         }
-        drop(conns);
+        if let Some(services) = self.services.take() {
+            services.join();
+        }
         if let Some(dispatcher) = self.dispatcher.take() {
             dispatcher.shutdown();
+        }
+        if let Some(metrics) = self.metrics.take() {
+            let _ = metrics.join();
         }
         if self.shared.log {
             eprintln!("charfree-serve: drained, exiting");
@@ -352,33 +501,21 @@ mod signal_drain {
     }
 }
 
-fn begin_drain(shared: &Shared) {
+pub(crate) fn begin_drain(shared: &Shared) {
     if !shared.draining.swap(true, Ordering::SeqCst) {
         // Nudge the blocking accept() awake; the loop re-checks the flag
         // before handling what it accepted.
         let _ = TcpStream::connect(shared.addr);
-    }
-}
-
-/// RAII slot in the connection count. Releasing on `Drop` (rather than
-/// after `handle_connection` returns) means a panic anywhere in the
-/// connection path still gives the slot back and wakes [`Server::wait`];
-/// otherwise one panicking connection would leak a `max_connections`
-/// slot forever and leave drain blocked on `conns > 0`.
-struct ConnSlot(Arc<Shared>);
-
-impl Drop for ConnSlot {
-    fn drop(&mut self) {
-        let mut conns = self.0.conns.lock().unwrap_or_else(|e| e.into_inner());
-        *conns -= 1;
-        self.0.conns_cv.notify_all();
+        if let Some(reactor) = shared.reactor.get() {
+            reactor.drain();
+        }
     }
 }
 
 fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
-    handle: &BatchHandle,
+    reactor: &ReactorHandle<Completion>,
     max_connections: usize,
 ) {
     for stream in listener.incoming() {
@@ -389,318 +526,73 @@ fn accept_loop(
             Ok(stream) => stream,
             Err(_) => continue,
         };
-        {
-            let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
-            if *conns >= max_connections {
-                drop(conns);
-                shared.stats.record_shed();
-                let line = Response::Error {
-                    kind: ErrorKind::Overloaded,
-                    message: format!("connection limit ({max_connections}) reached"),
-                    retry_after_ms: Some(RETRY_AFTER_MS),
-                }
-                .to_line();
-                let mut stream = stream;
-                let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
-                let _ = writeln!(stream, "{line}");
-                continue;
+        if shared.live_connections() >= max_connections as u64 {
+            shared.stats.record_shed();
+            let line = Response::Error {
+                kind: ErrorKind::Overloaded,
+                message: format!("connection limit ({max_connections}) reached"),
+                retry_after_ms: Some(RETRY_AFTER_MS),
             }
-            *conns += 1;
-        }
-        let slot = ConnSlot(Arc::clone(shared));
-        let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
-        let conn_shared = Arc::clone(shared);
-        let conn_handle = handle.clone();
-        // On spawn failure the unrun closure is dropped, which drops the
-        // slot — no separate error path needed.
-        let _ = thread::Builder::new()
-            .name(format!("charfree-serve-conn-{conn_id}"))
-            .spawn(move || {
-                let _slot = slot;
-                handle_connection(stream, conn_id, &conn_shared, conn_handle);
-            });
-    }
-}
-
-/// Reads newline-delimited lines off a raw stream with a short read
-/// timeout, so the connection notices drain and idle cutoff without an
-/// extra thread. A `BufReader::read_line` would lose buffered partial
-/// lines across timeout returns; this keeps its own carry buffer.
-struct LineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-    pos: usize,
-}
-
-enum ReadOutcome {
-    Line(String),
-    Draining,
-    Closed,
-}
-
-impl LineReader {
-    fn new(stream: TcpStream) -> io::Result<LineReader> {
-        stream.set_read_timeout(Some(READ_TICK))?;
-        Ok(LineReader {
-            stream,
-            buf: Vec::new(),
-            pos: 0,
-        })
-    }
-
-    fn next_line(&mut self, shared: &Shared) -> ReadOutcome {
-        let idle_since = Instant::now();
-        loop {
-            if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
-                let end = self.pos + nl;
-                let mut line = &self.buf[self.pos..end];
-                if line.last() == Some(&b'\r') {
-                    line = &line[..line.len() - 1];
-                }
-                let text = String::from_utf8_lossy(line).into_owned();
-                self.pos = end + 1;
-                if self.pos >= self.buf.len() {
-                    self.buf.clear();
-                    self.pos = 0;
-                }
-                return ReadOutcome::Line(text);
-            }
-            if self.buf.len() - self.pos > MAX_LINE_BYTES {
-                return ReadOutcome::Closed;
-            }
-            if shared.draining.load(Ordering::SeqCst) {
-                return ReadOutcome::Draining;
-            }
-            if idle_since.elapsed() > shared.idle_timeout {
-                return ReadOutcome::Closed;
-            }
-            let mut cap = 4096usize;
-            if let Some(fault) = shared
-                .fault
-                .as_deref()
-                .and_then(|f| f.stream_fault(StreamOp::Read))
-            {
-                match fault {
-                    // As if the read returned EINTR: retry the tick (the
-                    // drain/idle checks above re-run first).
-                    StreamFault::Transient => continue,
-                    // A short read round: accept only a few bytes.
-                    StreamFault::Short(n) => cap = n.clamp(1, 4096),
-                    // A stalled client: the bytes arrive late.
-                    StreamFault::Stall(d) => thread::sleep(d.min(MAX_INJECTED_STALL)),
-                }
-            }
-            let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk[..cap]) {
-                Ok(0) => return ReadOutcome::Closed,
-                Ok(n) => {
-                    if self.pos > 0 {
-                        self.buf.drain(..self.pos);
-                        self.pos = 0;
-                    }
-                    self.buf.extend_from_slice(&chunk[..n]);
-                }
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    continue;
-                }
-                Err(_) => return ReadOutcome::Closed,
-            }
-        }
-    }
-}
-
-/// RAII slot in the request-level admission window.
-struct InflightSlot<'a>(&'a Shared);
-
-impl Drop for InflightSlot<'_> {
-    fn drop(&mut self) {
-        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-fn try_admit(shared: &Shared) -> Option<InflightSlot<'_>> {
-    shared
-        .inflight
-        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
-            (n < shared.max_inflight).then_some(n + 1)
-        })
-        .ok()
-        .map(|_| InflightSlot(shared))
-}
-
-fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Shared, handle: BatchHandle) {
-    let write_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut writer = io::BufWriter::new(write_stream);
-    let mut reader = match LineReader::new(stream) {
-        Ok(r) => r,
-        Err(_) => return,
-    };
-    shared.log_line(conn_id, "open");
-    loop {
-        let line = match reader.next_line(shared) {
-            ReadOutcome::Line(line) => line,
-            ReadOutcome::Draining => {
-                shared.log_line(conn_id, "close reason=draining");
-                return;
-            }
-            ReadOutcome::Closed => {
-                shared.log_line(conn_id, "close reason=eof");
-                return;
-            }
-        };
-        if line.trim().is_empty() {
+            .to_line();
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
+            let _ = writeln!(stream, "{line}");
             continue;
         }
-        let started = Instant::now();
-        let (response, shutdown) = process_line(&line, shared, &handle);
-        let latency_us = started.elapsed().as_micros() as u64;
-        let (status, is_error) = match &response {
-            Response::Error { kind, .. } => (kind.name(), true),
-            _ => ("ok", false),
-        };
-        if is_error {
-            shared.stats.record_error();
-        } else {
-            shared.stats.record_completed(latency_us);
-        }
-        shared.log_line(
-            conn_id,
-            &format!(
-                "cmd={} status={status} latency_us={latency_us}",
-                cmd_of(&line)
-            ),
-        );
-        if write_response(&mut writer, &response.to_line(), shared).is_err() {
-            shared.log_line(conn_id, "close reason=write-error");
-            return;
-        }
-        if shutdown {
-            begin_drain(shared);
-            shared.log_line(conn_id, "close reason=shutdown");
-            return;
-        }
+        // Count before registering: the reactor guarantees exactly one
+        // close record per registration, so live never underflows.
+        shared.registered.fetch_add(1, Ordering::SeqCst);
+        reactor.register(stream);
     }
 }
 
-/// Writes one response line, applying any injected write fault. A
-/// [`StreamFault::Short`] splits the line at an injected boundary with a
-/// flush in between — both halves still reach the peer (a short write
-/// is a partial *round*, not lost bytes), which is exactly what a
-/// correct client must reassemble.
-fn write_response(
-    writer: &mut io::BufWriter<TcpStream>,
-    line: &str,
-    shared: &Shared,
-) -> io::Result<()> {
-    if let Some(fault) = shared
-        .fault
-        .as_deref()
-        .and_then(|f| f.stream_fault(StreamOp::Write))
-    {
-        match fault {
-            StreamFault::Stall(d) => thread::sleep(d.min(MAX_INJECTED_STALL)),
-            StreamFault::Short(n) => {
-                let bytes = line.as_bytes();
-                let cut = n.clamp(1, bytes.len());
-                writer.write_all(&bytes[..cut])?;
-                writer.flush()?;
-                writer.write_all(&bytes[cut..])?;
-                writer.write_all(b"\n")?;
-                return writer.flush();
+/// The dedicated metrics listener: accept, answer one `GET /metrics`,
+/// close. Nonblocking accept with a short sleep so the thread notices
+/// drain promptly without a wake channel.
+fn metrics_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => serve_metrics_conn(stream, shared),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(50));
             }
-            // A real EINTR mid-write is already retried inside
-            // `write_all`; nothing extra to simulate.
-            StreamFault::Transient => {}
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(50));
+            }
         }
     }
-    writeln!(writer, "{line}")?;
-    writer.flush()
 }
 
-/// Best-effort command label for the log line (the request may not even
-/// parse).
-fn cmd_of(line: &str) -> String {
-    Request::parse_line(line)
-        .map(|r| r.cmd().to_owned())
-        .unwrap_or_else(|_| "?".to_owned())
-}
-
-fn process_line(line: &str, shared: &Shared, handle: &BatchHandle) -> (Response, bool) {
-    let request = match Request::parse_line(line) {
-        Ok(request) => request,
-        Err(message) => {
-            return (
-                Response::Error {
-                    kind: ErrorKind::BadRequest,
-                    message,
-                    retry_after_ms: None,
-                },
-                false,
-            )
+fn serve_metrics_conn(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !buf.contains(&b'\n') && buf.len() <= 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
         }
-    };
-    shared.stats.record_accepted(request.cmd());
-    if shared.draining.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
-        return (
-            Response::Error {
-                kind: ErrorKind::Draining,
-                message: "server is draining".to_owned(),
-                retry_after_ms: None,
-            },
-            false,
-        );
     }
-    // stats/shutdown are control-plane: they bypass the admission window
-    // so an overloaded server can still be observed and drained.
-    match request {
-        Request::Stats => {
-            return (
-                Response::Stats(shared.stats.snapshot(&shared.registry, &shared.breaker)),
-                false,
-            )
+    let text = String::from_utf8_lossy(&buf);
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    let body = match (parts.next(), parts.next()) {
+        (Some("GET"), Some("/metrics")) => {
+            metrics::http_response(&metrics::render(&shared.snapshot()))
         }
-        Request::Shutdown => return (Response::Shutdown, true),
-        _ => {}
-    }
-    let _slot = match try_admit(shared) {
-        Some(slot) => slot,
-        None => {
-            shared.stats.record_shed();
-            return (
-                Response::Error {
-                    kind: ErrorKind::Overloaded,
-                    message: format!("{} requests in flight", shared.max_inflight),
-                    retry_after_ms: Some(RETRY_AFTER_MS),
-                },
-                false,
-            );
-        }
+        _ => metrics::http_not_found(),
     };
-    let response = match request {
-        Request::Load { source, options } => do_load(shared, &source, &options),
-        Request::Eval {
-            source,
-            options,
-            params,
-        } => do_eval(shared, handle, &source, &options, &params, false),
-        Request::Trace {
-            source,
-            options,
-            params,
-        } => do_eval(shared, handle, &source, &options, &params, true),
-        Request::Expected { source, sp, st } => do_expected(shared, &source, sp, st),
-        Request::Stats | Request::Shutdown => unreachable!("handled above"),
-    };
-    (response, false)
+    let _ = stream.write_all(body.as_bytes());
 }
 
-fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
+pub(crate) fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
     Response::Error {
         kind,
         message: message.into(),
@@ -744,7 +636,7 @@ fn build_options(options: &WireBuildOptions) -> BuildOptions {
 /// Resolves a model operand to a registry-resident kernel. Returns the
 /// kernel, the ADD apply steps this call performed (0 for warm paths)
 /// and whether it was already resident.
-fn resolve(
+pub(crate) fn resolve(
     shared: &Shared,
     source: &str,
     options: &WireBuildOptions,
@@ -767,9 +659,15 @@ fn resolve(
             });
         }
     }
-    // Serialize builds: concurrent requests for the same cold model
-    // would otherwise burn a full symbolic construction each.
-    let _build = shared.build_lock.lock().unwrap_or_else(|e| e.into_inner());
+    // Serialize builds per registry shard: concurrent requests for the
+    // same cold model would otherwise burn a full symbolic construction
+    // each, while models hashing to *different* shards build in
+    // parallel.
+    let _build = shared
+        .registry
+        .build_lock(&key)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
     if let Some(kernel) = shared.registry.get(&key) {
         return Ok((kernel, 0, true));
     }
@@ -804,7 +702,7 @@ fn resolve(
     Ok((kernel, applied, false))
 }
 
-fn do_load(shared: &Shared, source: &str, options: &WireBuildOptions) -> Response {
+pub(crate) fn do_load(shared: &Shared, source: &str, options: &WireBuildOptions) -> Response {
     match resolve(shared, source, options) {
         Ok((kernel, applied, resident)) => Response::Load {
             name: kernel.name().to_owned(),
@@ -818,102 +716,9 @@ fn do_load(shared: &Shared, source: &str, options: &WireBuildOptions) -> Respons
     }
 }
 
-fn do_eval(
-    shared: &Shared,
-    handle: &BatchHandle,
-    source: &str,
-    options: &WireBuildOptions,
-    params: &WireEvalParams,
-    want_values: bool,
-) -> Response {
-    if params.vectors > shared.max_vectors {
-        return error(
-            ErrorKind::BadRequest,
-            format!(
-                "vectors={} exceeds this server's per-request cap ({}); split the request or restart with a larger --max-vectors",
-                params.vectors, shared.max_vectors
-            ),
-        );
-    }
-    let deadline = params
-        .deadline_ms
-        .map(|ms| Instant::now() + Duration::from_millis(ms));
-    // The request deadline also bounds a cold build (and, being
-    // timing-dependent, keeps that build out of the registry).
-    let build_options = WireBuildOptions {
-        deadline_ms: params.deadline_ms,
-        ..options.clone()
-    };
-    let (kernel, _, _) = match resolve(shared, source, &build_options) {
-        Ok(resolved) => resolved,
-        Err(response) => return response,
-    };
-    // Identical pattern generation to the offline CLI: a Markov source
-    // over the kernel's inputs, at least two patterns.
-    let mut markov = match MarkovSource::new(kernel.num_inputs(), params.sp, params.st, params.seed)
-    {
-        Ok(markov) => markov,
-        Err(e) => return error(ErrorKind::BadRequest, e.to_string()),
-    };
-    let patterns = markov.sequence(params.vectors.max(2));
-    if let Some(deadline) = deadline {
-        if deadline <= Instant::now() {
-            return error(
-                ErrorKind::DeadlineExceeded,
-                "deadline expired before dispatch",
-            );
-        }
-    }
-    let (reply_tx, reply_rx) = sync_channel(1);
-    let job = Job {
-        kernel: Arc::clone(&kernel),
-        patterns,
-        want_values,
-        deadline,
-        reply: reply_tx,
-        fault: None,
-    };
-    if handle.try_submit(job).is_err() {
-        shared.stats.record_shed();
-        return Response::Error {
-            kind: ErrorKind::Overloaded,
-            message: "dispatch queue full".to_owned(),
-            retry_after_ms: Some(RETRY_AFTER_MS),
-        };
-    }
-    match reply_rx.recv() {
-        Ok(Ok(output)) => {
-            if want_values {
-                Response::Trace {
-                    name: kernel.name().to_owned(),
-                    values: output.values.unwrap_or_default(),
-                }
-            } else {
-                Response::Eval {
-                    name: kernel.name().to_owned(),
-                    transitions: output.summary.transitions,
-                    sum_ff: output.summary.sum_ff,
-                    max_ff: output.summary.max_ff,
-                }
-            }
-        }
-        Ok(Err(JobError::DeadlineExceeded)) => {
-            error(ErrorKind::DeadlineExceeded, "deadline expired in queue")
-        }
-        // A dropped reply means the executing worker panicked mid-batch
-        // and the supervisor is restarting it; the request itself was
-        // fine, so the client may retry after a short backoff.
-        Err(_) => Response::Error {
-            kind: ErrorKind::Internal,
-            message: "dispatcher dropped the job (worker restarted); safe to retry".to_owned(),
-            retry_after_ms: Some(RETRY_AFTER_MS),
-        },
-    }
-}
-
-fn do_expected(shared: &Shared, source: &str, sp: f64, st: f64) -> Response {
+pub(crate) fn do_expected(shared: &Shared, source: &str, sp: f64, st: f64) -> Response {
     // The analytic chain measure asserts feasibility; validate here so a
-    // bad request gets a typed error instead of panicking a connection
+    // bad request gets a typed error instead of panicking a service
     // thread. (Same stationarity bound as the Markov pattern source.)
     if !(sp > 0.0 && sp < 1.0) {
         return error(ErrorKind::BadRequest, format!("sp={sp} must be in (0,1)"));

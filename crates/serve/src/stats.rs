@@ -22,16 +22,20 @@ pub struct ServerStats {
     completed: AtomicU64,
     errors: AtomicU64,
     shed: AtomicU64,
-    per_cmd: [AtomicU64; 6],
+    per_cmd: [AtomicU64; 8],
     latency_us: [AtomicU64; LATENCY_BUCKETS],
     batch_fill: [AtomicU64; FILL_BUCKETS],
     batches: AtomicU64,
     batched_requests: AtomicU64,
     worker_panics: AtomicU64,
     breaker_denials: AtomicU64,
+    idle_timeouts: AtomicU64,
 }
 
-const CMD_NAMES: [&str; 6] = ["load", "eval", "trace", "expected", "stats", "shutdown"];
+/// Wire command names, in per-command counter order.
+pub const CMD_NAMES: [&str; 8] = [
+    "load", "eval", "trace", "tracep", "expected", "stats", "metrics", "shutdown",
+];
 
 fn cmd_index(cmd: &str) -> Option<usize> {
     CMD_NAMES.iter().position(|&c| c == cmd)
@@ -52,6 +56,7 @@ impl ServerStats {
             batched_requests: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             breaker_denials: AtomicU64::new(0),
+            idle_timeouts: AtomicU64::new(0),
         }
     }
 
@@ -100,6 +105,17 @@ impl ServerStats {
         self.breaker_denials.load(Ordering::Relaxed)
     }
 
+    /// Counts a connection closed for sitting idle past the server's
+    /// idle timeout (the slow-loris guard).
+    pub fn record_idle_timeout(&self) {
+        self.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total idle-timeout closes so far.
+    pub fn idle_timeouts(&self) -> u64 {
+        self.idle_timeouts.load(Ordering::Relaxed)
+    }
+
     /// Files one executed micro-batch: how many requests it coalesced
     /// and the mean lane occupancy of its 64-lane groups (1..=64).
     pub fn record_batch(&self, requests: usize, mean_lane_fill: usize) {
@@ -129,10 +145,14 @@ impl ServerStats {
     }
 
     /// Renders the full snapshot as the `stats` response payload.
+    /// `net` is present when the reactor front end is live (its
+    /// counters section is omitted under test harnesses that exercise
+    /// the stats module without a reactor).
     pub fn snapshot(
         &self,
-        registry: &crate::registry::ModelRegistry,
+        registry: &crate::registry::ShardedRegistry,
         breaker: &crate::supervisor::CircuitBreaker,
+        net: Option<&charfree_net::NetCounters>,
     ) -> Json {
         let latency: [u64; LATENCY_BUCKETS] =
             std::array::from_fn(|i| self.latency_us[i].load(Ordering::Relaxed));
@@ -150,7 +170,31 @@ impl ServerStats {
             .map(|i| Json::num(self.batch_fill[i].load(Ordering::Relaxed)))
             .collect();
         let (entries, bytes, hits, misses, evictions) = registry.stats();
-        Json::Obj(vec![
+        let net_section = net.map(|counters| {
+            use std::sync::atomic::Ordering as O;
+            let mut fields = vec![
+                (
+                    "connections".to_owned(),
+                    Json::num(counters.accepted.load(O::Relaxed)),
+                ),
+                (
+                    "bytes_in".to_owned(),
+                    Json::num(counters.bytes_in.load(O::Relaxed)),
+                ),
+                (
+                    "bytes_out".to_owned(),
+                    Json::num(counters.bytes_out.load(O::Relaxed)),
+                ),
+            ];
+            for reason in charfree_net::CloseReason::all() {
+                fields.push((
+                    format!("closed_{}", reason.name().replace('-', "_")),
+                    Json::num(counters.closed(reason)),
+                ));
+            }
+            Json::Obj(fields)
+        });
+        let mut obj = vec![
             (
                 "accepted".to_owned(),
                 Json::num(self.accepted.load(Ordering::Relaxed)),
@@ -202,6 +246,10 @@ impl ServerStats {
                     ("hits".to_owned(), Json::num(hits)),
                     ("misses".to_owned(), Json::num(misses)),
                     ("evictions".to_owned(), Json::num(evictions)),
+                    (
+                        "shards".to_owned(),
+                        Json::num(registry.shard_count() as u64),
+                    ),
                 ]),
             ),
             (
@@ -220,9 +268,17 @@ impl ServerStats {
                         "open_circuits".to_owned(),
                         Json::num(breaker.open_circuits() as u64),
                     ),
+                    (
+                        "idle_timeouts".to_owned(),
+                        Json::num(self.idle_timeouts.load(Ordering::Relaxed)),
+                    ),
                 ]),
             ),
-        ])
+        ];
+        if let Some(net) = net_section {
+            obj.push(("net".to_owned(), net));
+        }
+        Json::Obj(obj)
     }
 }
 

@@ -103,10 +103,13 @@ fn usage(prefix: &str) -> String {
          \x20 charfree serve [--addr HOST:PORT] [--jobs N] [--batch-window DUR]\n\
          \x20                [--max-inflight N] [--max-vectors N]\n\
          \x20                [--model-bytes-budget BYTES]\n\
+         \x20                [--reactor-threads N] [--idle-timeout-ms MS]\n\
+         \x20                [--metrics-addr HOST:PORT]\n\
          \x20                [--library L.lib] [--cache-dir DIR] [--quiet]\n\
          \x20                [--breaker-failures K] [--breaker-open-ms MS]\n\
-         \x20 charfree client <load|eval|trace|expected|stats|shutdown> [operand]\n\
-         \x20                [--addr HOST:PORT] [--deadline-ms N] [--retries N]\n\
+         \x20 charfree client <load|eval|trace|expected|stats|metrics|shutdown>\n\
+         \x20                [operand] [--addr HOST:PORT] [--proto json|binary]\n\
+         \x20                [--deadline-ms N] [--retries N]\n\
          \x20                [eval/trace flags]\n\
          \x20                [build flags: --max N --node-budget N --strict --upper-bound]\n\
          \x20 charfree conform [--cases N] [--seed S] [--vectors N] [--corpus DIR]\n\
@@ -804,7 +807,16 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let quiet = flags.flag("--quiet");
     let breaker_failures: u32 = flags.parse("--breaker-failures", 3)?;
     let breaker_open_ms: u64 = flags.parse("--breaker-open-ms", 500)?;
+    let reactor_threads: usize = flags.parse("--reactor-threads", 2)?;
+    let idle_timeout_ms: u64 = flags.parse("--idle-timeout-ms", 30_000)?;
+    let metrics_addr = flags.value("--metrics-addr")?.map(str::to_owned);
     flags.finish()?;
+    if reactor_threads == 0 {
+        return Err("`--reactor-threads` must be at least 1".to_owned());
+    }
+    if idle_timeout_ms == 0 {
+        return Err("`--idle-timeout-ms` must be at least 1".to_owned());
+    }
     if max_inflight == 0 {
         return Err("`--max-inflight` must be at least 1".to_owned());
     }
@@ -830,8 +842,10 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         model_bytes_budget,
         library,
         cache_dir,
-        idle_timeout: std::time::Duration::from_secs(30),
+        idle_timeout: std::time::Duration::from_millis(idle_timeout_ms),
         max_connections: 64,
+        reactor_threads,
+        metrics_addr,
         log: !quiet,
         breaker: charfree_serve::BreakerConfig {
             failure_threshold: breaker_failures,
@@ -895,12 +909,14 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
     // exponential backoff + jitter honoring the server's retry_after_ms
     // hint. Default 0 keeps the historical single-shot behavior.
     let retries: u32 = flags.parse("--retries", 0)?;
+    let proto = charfree_serve::Proto::parse(flags.value("--proto")?.unwrap_or("json"))?;
     let policy = charfree_serve::RetryPolicy {
         retries,
         ..charfree_serve::RetryPolicy::default()
     };
     let connect = |addr: &str| {
-        charfree_serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+        charfree_serve::Client::connect_with(addr, proto)
+            .map_err(|e| format!("connect {addr}: {e}"))
     };
     match sub.as_str() {
         "load" | "build" => {
@@ -1057,6 +1073,18 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
                 other => Err(format!("unexpected response {other:?}")),
             }
         }
+        "metrics" => {
+            flags.finish()?;
+            let mut client = connect(&addr)?;
+            match expect_ok(
+                client
+                    .request_with_retries(&Request::Metrics, &policy)
+                    .map_err(|e| e.to_string())?,
+            )? {
+                Response::Metrics(text) => Ok(text),
+                other => Err(format!("unexpected response {other:?}")),
+            }
+        }
         "shutdown" => {
             flags.finish()?;
             let mut client = connect(&addr)?;
@@ -1070,7 +1098,7 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
             }
         }
         other => Err(format!(
-            "client: unknown subcommand `{other}` (load|eval|trace|expected|stats|shutdown)"
+            "client: unknown subcommand `{other}` (load|eval|trace|expected|stats|metrics|shutdown)"
         )),
     }
 }
